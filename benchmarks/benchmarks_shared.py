@@ -1,0 +1,12 @@
+"""Helpers shared between benchmark modules."""
+
+from repro.experiments.fig12_13_14 import SCENARIOS
+
+
+def scenario_subset(*labels: str):
+    """Select poisoning scenarios by label (see fig12_13_14.SCENARIOS)."""
+    chosen = [s for s in SCENARIOS if s[0] in labels]
+    missing = set(labels) - {s[0] for s in chosen}
+    if missing:
+        raise KeyError(f"unknown scenario labels: {sorted(missing)}")
+    return tuple(chosen)

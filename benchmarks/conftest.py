@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Each benchmark runs one paper experiment end-to-end (once — these are
+seconds-long macro-benchmarks, not micro-benchmarks) and asserts the
+qualitative shape the paper reports.  Set ``REPRO_SCALE=default`` or
+``paper`` for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return resolve_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Ablation benches for the design choices called out in DESIGN.md."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_tip_selection(benchmark, scale):
+    result = run_once(benchmark, ablations.run_tip_selection, scale, seed=0)
+    variants = result["variants"]
+    # The accuracy walk is what creates specialization: strictly purer
+    # approvals than uniform-random tip selection.
+    assert variants["accuracy"]["pureness"] > variants["random"]["pureness"]
+    # All selectors still learn the (easy) task.
+    for name, variant in variants.items():
+        assert variant["final_accuracy"] > 0.4, name
+
+
+def test_ablation_publish_gate(benchmark, scale):
+    result = run_once(benchmark, ablations.run_publish_gate, scale, seed=0)
+    variants = result["variants"]
+    # The ungated variant publishes at least as many transactions.
+    assert variants["ungated"]["transactions"] >= variants["gated"]["transactions"]
+    assert variants["gated"]["final_accuracy"] > 0.4
+
+
+def test_ablation_num_tips(benchmark, scale):
+    result = run_once(benchmark, ablations.run_num_tips, scale, seed=0)
+    variants = result["variants"]
+    for k, variant in variants.items():
+        assert variant["final_accuracy"] > 0.35, f"num_tips={k}"
+    # k=2 (the paper's choice) must not lose to k=1 chains on accuracy by a
+    # large margin — averaging two parents is the mixing mechanism.
+    assert variants["2"]["final_accuracy"] >= variants["1"]["final_accuracy"] - 0.2
+
+
+def test_ablation_walk_depth(benchmark, scale):
+    result = run_once(benchmark, ablations.run_walk_depth, scale, seed=0)
+    variants = result["variants"]
+    for name, variant in variants.items():
+        assert variant["final_accuracy"] > 0.35, name

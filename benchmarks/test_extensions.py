@@ -1,0 +1,43 @@
+"""Benches for the beyond-the-paper extensions."""
+
+from conftest import run_once
+
+from repro.experiments import extensions
+
+
+def test_personalization(benchmark, scale):
+    result = run_once(benchmark, extensions.run_personalization, scale, seed=0)
+    variants = result["variants"]
+    # Personal heads must not lose badly to full sharing on mixed data —
+    # at most scales they win (each head adapts to the client's blend).
+    assert variants["personal-head"]["final_accuracy"] >= (
+        variants["shared"]["final_accuracy"] - 0.1
+    )
+    for variant in variants.values():
+        assert variant["final_accuracy"] > 0.25
+
+
+def test_random_weight_attack(benchmark, scale):
+    result = run_once(
+        benchmark, extensions.run_random_weight_attack, scale, seed=0
+    )
+    variants = result["variants"]
+    assert variants["clean"]["malicious_transactions"] == 0
+    assert variants["attacked-accuracy"]["malicious_transactions"] > 0
+    # The accuracy walk absorbs random-weight attackers at least as well
+    # as the uniform-random baseline (Section 4.4's argument).
+    assert variants["attacked-accuracy"]["final_accuracy"] >= (
+        variants["attacked-random"]["final_accuracy"] - 0.05
+    )
+
+
+def test_visibility_delay(benchmark, scale):
+    result = run_once(benchmark, extensions.run_visibility_delay, scale, seed=0)
+    variants = result["variants"]
+    # Stale views degrade gracefully: even delay=3 keeps learning and
+    # specialization above the random base of 1/3.
+    assert variants["3"]["final_accuracy"] > 0.35
+    assert variants["3"]["pureness"] > 1 / 3
+    # No-delay is the best or near-best configuration.
+    best = max(v["final_accuracy"] for v in variants.values())
+    assert variants["0"]["final_accuracy"] >= best - 0.05

@@ -1,0 +1,21 @@
+"""Figures 10 & 11: FedAvg vs DAG vs FedProx on synthetic(0.5, 0.5)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig10_11
+
+
+def late(series, k=5):
+    return float(np.mean(series[-k:]))
+
+
+def test_fig10_11(benchmark, scale):
+    result = run_once(benchmark, fig10_11.run, scale, seed=0)
+    # Fig 10 shape: the DAG eventually outperforms FedAvg on accuracy.
+    assert late(result["dag"]["accuracy"]) > late(result["fedavg"]["accuracy"])
+    # Fig 11 shape: ... and on loss.
+    assert late(result["dag"]["loss"]) < late(result["fedavg"]["loss"])
+    # All three approaches actually learn.
+    for algo in ("fedavg", "fedprox", "dag"):
+        assert late(result[algo]["accuracy"]) > 0.3, algo

@@ -1,0 +1,22 @@
+"""Figure 12: flipped predictions under label-flip poisoning."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig12_13_14
+
+
+def test_fig12(benchmark, scale):
+    result = run_once(benchmark, fig12_13_14.run, scale, seed=0)
+    scenarios = result["scenarios"]
+
+    def late(label):
+        return float(np.nanmean(scenarios[label]["flipped_rate"][-3:]))
+
+    # p=0.2 with the accuracy selector stays near the clean baseline.
+    assert late("p0.2") <= late("p0.0") + 0.15
+    # p=0.3 is noticeable but bounded (paper: below 30 %).
+    assert late("p0.3") <= 0.45
+    # Headline: the random selector at p=0.2 suffers more flipped
+    # predictions than the accuracy selector at p=0.3.
+    assert late("p0.2-random") > late("p0.2")

@@ -1,0 +1,32 @@
+"""Figure 14: distribution of poisoned clients over inferred clusters."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_13_14
+from benchmarks_shared import scenario_subset
+
+
+def test_fig14(benchmark, scale):
+    result = run_once(
+        benchmark,
+        fig12_13_14.run,
+        scale,
+        seed=2,
+        scenarios=scenario_subset("p0.3"),
+    )
+    scenario = result["scenarios"]["p0.3"]
+    distribution = scenario["cluster_distribution"]
+    total_poisoned = sum(row["poisoned"] for row in distribution)
+    total = sum(row["poisoned"] + row["benign"] for row in distribution)
+    assert total_poisoned == len(scenario["poisoned_clients"])
+    assert total == total_poisoned + sum(row["benign"] for row in distribution)
+    # Shape: poisoned clients are not spread perfectly evenly — some
+    # cluster concentrates them (containment).  We check that at least one
+    # cluster holds a disproportionate share of the poisoned clients.
+    if total_poisoned:
+        overall_rate = total_poisoned / total
+        max_rate = max(
+            row["poisoned"] / (row["poisoned"] + row["benign"])
+            for row in distribution
+        )
+        assert max_rate >= overall_rate

@@ -1,0 +1,25 @@
+"""Figure 15: random-walk cost vs concurrently active clients."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig15
+
+
+def test_fig15(benchmark, scale):
+    result = run_once(benchmark, fig15.run, scale, seed=0)
+    runs = result["runs"]
+    durations = {
+        int(active): run["mean_duration"] for active, run in runs.items()
+    }
+    counts = sorted(durations)
+    # Shape: the walk cost grows far slower than the concurrency — the
+    # paper calls the differences "marginal".  Allow sub-linear growth:
+    # 4x the active clients must cost well under 4x the walk time.
+    low, high = counts[0], counts[-1]
+    ratio = durations[high] / max(durations[low], 1e-9)
+    assert ratio < (high / low) * 0.75
+    # Every run recorded per-round series of the right length.
+    for run in runs.values():
+        assert len(run["walk_duration"]) == scale.rounds
+        assert all(np.isfinite(run["walk_duration"]))

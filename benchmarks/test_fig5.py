@@ -1,0 +1,22 @@
+"""Figure 5: choosing alpha via modularity / partitions / misclassification."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, scale):
+    result = run_once(benchmark, fig5.run, scale, seed=0)
+    alphas = result["alphas"]
+    mid = alphas["10.0"]["final"]
+    low = alphas["1.0"]["final"]
+    high = alphas["100.0"]["final"]
+    # alpha=10: the paper's sweet spot — near-truth partition count and
+    # (virtually) no misclassified clients.
+    assert mid["misclassification"] <= 0.15
+    assert 2 <= mid["num_partitions"] <= 4
+    # alpha=1: too random — worst misclassification of the three.
+    assert low["misclassification"] >= mid["misclassification"]
+    # alpha in {10, 100} keeps modularity clearly above the alpha=1 level.
+    assert mid["modularity"] > low["modularity"]
+    assert high["modularity"] > low["modularity"]

@@ -1,0 +1,23 @@
+"""Figure 6: accuracy vs rounds for alpha sweep (standard normalization)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def late_mean(series, k=3):
+    return float(np.mean(series[-k:]))
+
+
+def test_fig6(benchmark, scale):
+    result = run_once(benchmark, fig6.run, scale, seed=0)
+    alphas = result["alphas"]
+    # Shape: high alpha at least matches low alpha late in training, and
+    # the most specialized run clearly beats the most random one.
+    assert late_mean(alphas["10.0"]["accuracy"]) >= late_mean(
+        alphas["0.1"]["accuracy"]
+    ) - 0.05
+    assert late_mean(alphas["100.0"]["accuracy"]) > 0.5
+    # Specialization only happens for the higher alphas.
+    assert alphas["100.0"]["final_pureness"] > alphas["0.1"]["final_pureness"]

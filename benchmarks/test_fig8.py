@@ -1,0 +1,19 @@
+"""Figure 8: the relaxed (15-20 % foreign data) FMNIST-clustered dataset."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, scale):
+    result = run_once(benchmark, fig8.run, scale, seed=0)
+    alphas = result["alphas"]
+    assert result["dataset"] == "fmnist-relaxed"
+    # Everyone learns on the relaxed dataset (thresholds are loose: foreign
+    # samples make tiny smoke-scale client datasets genuinely harder).
+    for series in alphas.values():
+        assert np.mean(series["accuracy"][-3:]) > 0.3
+    # Relaxation caps specialization below perfect pureness: clients hold
+    # foreign data, so some cross-cluster approvals remain useful.
+    assert alphas["100.0"]["final_pureness"] <= 1.0

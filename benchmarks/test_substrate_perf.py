@@ -1,0 +1,72 @@
+"""Micro-benchmarks for the hot substrate operations.
+
+These are classic pytest-benchmark micro-benches (many iterations) for
+the three operations that dominate simulation time: CNN forward
+evaluation (the random walk's inner loop), one SGD training batch, and a
+full biased random walk over a grown tangle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dag.tangle import Tangle
+from repro.dag.tip_selection import AccuracyTipSelector
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.nn import SGD, zoo
+
+
+@pytest.fixture(scope="module")
+def cnn():
+    return zoo.build_fmnist_cnn(np.random.default_rng(0), image_size=14, size="small")
+
+
+def test_cnn_forward_evaluation(benchmark, cnn):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(40, 1, 14, 14))
+    y = rng.integers(0, 10, size=40)
+    loss, acc = benchmark(cnn.evaluate, x, y)
+    assert loss > 0
+
+
+def test_cnn_training_batch(benchmark, cnn):
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(10, 1, 14, 14))
+    y = rng.integers(0, 10, size=10)
+    optimizer = SGD(0.05)
+    loss = benchmark(cnn.train_batch, x, y, optimizer)
+    assert loss > 0
+
+
+def test_lstm_forward_evaluation(benchmark):
+    model = zoo.build_poets_lstm(np.random.default_rng(0), vocab_size=30, size="small")
+    rng = np.random.default_rng(3)
+    x = rng.integers(0, 30, size=(40, 12))
+    y = rng.integers(0, 30, size=40)
+    loss, acc = benchmark(model.evaluate, x, y)
+    assert loss > 0
+
+
+def test_biased_random_walk(benchmark):
+    """A full accuracy-biased walk over a 200-transaction tangle with a
+    cached (dict-lookup) accuracy function — isolates walk overhead."""
+    rng = np.random.default_rng(4)
+    tangle = Tangle([np.zeros(1)])
+    ids = [GENESIS_ID]
+    for i in range(200):
+        parents = tuple(
+            dict.fromkeys(
+                ids[int(rng.integers(0, len(ids)))] for _ in range(2)
+            )
+        )
+        tx = Transaction(f"t{i}", parents, [np.zeros(1)], i % 10, i // 10)
+        tangle.add(tx)
+        ids.append(tx.tx_id)
+    accuracies = {tx_id: float(rng.random()) for tx_id in ids}
+    selector = AccuracyTipSelector(accuracies.__getitem__, alpha=10.0)
+
+    def walk():
+        return selector.select_tips(tangle, 2, rng)
+
+    tips = benchmark(walk)
+    assert len(tips) == 2
+    assert all(tangle.is_tip(t) for t in tips)

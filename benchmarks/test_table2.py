@@ -1,0 +1,21 @@
+"""Table 2: approval pureness across the three datasets."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, scale):
+    result = run_once(benchmark, table2.run, scale, seed=0)
+    rows = result["rows"]
+    # Shape: every dataset's (late) pureness exceeds its random base.
+    for name, row in rows.items():
+        observed = max(row["pureness"], row["late_pureness"])
+        assert observed > row["base_pureness"], name
+    # Shape: the two cleanly clustered datasets (FMNIST, Poets) approach
+    # perfect pureness, while CIFAR — whose clients hold superclass
+    # mixtures — stays clearly below them, exactly as in Table 2.
+    assert rows["fmnist-clustered"]["pureness"] > 0.8
+    assert rows["poets"]["pureness"] > 0.7
+    assert rows["cifar100"]["pureness"] < rows["fmnist-clustered"]["pureness"]
+    assert rows["cifar100"]["pureness"] < rows["poets"]["pureness"]

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Tuning the specialization parameter alpha (the Figure 5 workflow).
+
+alpha controls the randomness of the biased walk: low alpha generalizes
+(approvals cross clusters), high alpha specializes (approvals stay inside
+clusters, possibly fragmenting).  This example sweeps alpha and prints
+the three diagnostics the paper uses to pick it: modularity of the
+derived client graph, number of Louvain partitions, and the
+misclassification fraction against the known data clusters.
+
+Run:  python examples/alpha_tuning.py
+"""
+
+from repro.data import make_fmnist_clustered
+from repro.fl import DagConfig, TangleLearning, TrainingConfig
+from repro.metrics import analyze_specialization
+from repro.nn import zoo
+
+ALPHAS = (0.1, 1.0, 10.0, 100.0)
+ROUNDS = 12
+
+
+def main() -> None:
+    dataset = make_fmnist_clustered(num_clients=12, samples_per_client=40, seed=3)
+    labels = dataset.cluster_labels()
+    builder = lambda rng: zoo.build_fmnist_cnn(rng, image_size=14, size="small")
+    config = TrainingConfig(
+        local_epochs=1, local_batches=4, batch_size=10, learning_rate=0.1
+    )
+
+    print(f"{'alpha':>7} {'accuracy':>9} {'pureness':>9} {'modularity':>11} "
+          f"{'partitions':>11} {'misclass':>9}")
+    for alpha in ALPHAS:
+        sim = TangleLearning(
+            dataset, builder, config, DagConfig(alpha=alpha),
+            clients_per_round=6, seed=0,
+        )
+        records = sim.run(ROUNDS)
+        report = analyze_specialization(sim.tangle, labels, seed=0)
+        print(
+            f"{alpha:>7} {records[-1].mean_accuracy:>9.3f} {report.pureness:>9.3f} "
+            f"{report.modularity:>11.3f} {report.num_partitions:>11} "
+            f"{report.misclassification:>9.3f}"
+        )
+
+    print(
+        "\nreading the table (paper, Section 5.3.1): pick the alpha whose run\n"
+        "shows rising modularity, a partition count near the true cluster\n"
+        "count (3 here), and misclassification near zero.  Too-low alpha\n"
+        "degrades modularity; too-high alpha over-fragments the network."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""FedAvg vs FedProx vs the Specializing DAG on heterogeneous clients.
+
+Uses the FedProx synthetic(0.5, 0.5) dataset — every client has its own
+softmax-regression optimum, the classic stress test for federated
+averaging.  Reproduces the Figures 10/11 comparison: the decentralized
+DAG matches or beats the centralized baselines without any server.
+
+Run:  python examples/fedavg_vs_dag.py
+"""
+
+import numpy as np
+
+from repro.data import make_fedprox_synthetic
+from repro.fl import (
+    DagConfig,
+    FedAvgServer,
+    FedProxServer,
+    TangleLearning,
+    TrainingConfig,
+)
+from repro.nn import zoo
+
+ROUNDS = 15
+
+
+def main() -> None:
+    dataset = make_fedprox_synthetic(
+        alpha=0.5, beta=0.5, num_clients=15, mean_samples=40, seed=0
+    )
+    builder = lambda rng: zoo.build_logistic_regression(rng)
+    config = TrainingConfig(
+        local_epochs=1, local_batches=10, batch_size=10, learning_rate=0.05
+    )
+
+    fedavg = FedAvgServer(dataset, builder, config, clients_per_round=8, seed=0)
+    fedprox = FedProxServer(
+        dataset, builder, config, clients_per_round=8, seed=0, mu=0.5
+    )
+    dag = TangleLearning(
+        dataset, builder, config, DagConfig(alpha=10.0),
+        clients_per_round=8, seed=0,
+    )
+
+    print(f"{'round':>5} | {'FedAvg':>14} | {'FedProx':>14} | {'DAG':>14}")
+    print(f"{'':>5} | {'acc':>6} {'loss':>7} | {'acc':>6} {'loss':>7} | {'acc':>6} {'loss':>7}")
+    for round_index in range(ROUNDS):
+        ra = fedavg.run_round()
+        rp = fedprox.run_round()
+        rd = dag.run_round()
+        if round_index % 3 == 0 or round_index == ROUNDS - 1:
+            print(
+                f"{round_index:>5} | {ra.mean_accuracy:>6.3f} {ra.mean_loss:>7.3f} "
+                f"| {rp.mean_accuracy:>6.3f} {rp.mean_loss:>7.3f} "
+                f"| {rd.mean_accuracy:>6.3f} {rd.mean_loss:>7.3f}"
+            )
+
+    def late(history, attr):
+        return float(np.mean([getattr(r, attr) for r in history[-5:]]))
+
+    print("\nlast-5-round averages:")
+    for name, algo in (("FedAvg", fedavg), ("FedProx", fedprox), ("DAG", dag)):
+        print(
+            f"  {name:<8} accuracy {late(algo.history, 'mean_accuracy'):.3f}  "
+            f"loss {late(algo.history, 'mean_loss'):.3f}  "
+            f"client spread {late(algo.history, 'accuracy_std'):.3f}"
+        )
+    print(
+        "\nThe DAG serves every client a model adapted to its own data, so\n"
+        "its mean accuracy beats the single global model — the paper's\n"
+        "Figures 10 and 11."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Implicit specialization on multilingual next-character prediction.
+
+The Poets scenario: half the clients type English (Shakespeare-style),
+half German (Goethe-style).  A single global model must compromise
+between the two languages; the specializing DAG lets each language
+community evolve its own model lineage — without anyone telling the
+protocol which client speaks which language.
+
+Run:  python examples/multilingual_text.py
+"""
+
+import numpy as np
+
+from repro.data import make_poets
+from repro.fl import DagConfig, TangleLearning, TrainingConfig
+from repro.metrics import approval_pureness
+from repro.nn import zoo
+
+ROUNDS = 14
+
+
+def main() -> None:
+    dataset = make_poets(num_clients=6, samples_per_client=300, seq_len=8, seed=0)
+    print(f"dataset: {dataset.summary()} (vocabulary: {dataset.num_classes} chars)")
+
+    sim = TangleLearning(
+        dataset,
+        lambda rng: zoo.build_poets_lstm(rng, vocab_size=dataset.num_classes, size="small"),
+        TrainingConfig(
+            local_epochs=1, local_batches=20, batch_size=10,
+            learning_rate=0.5, momentum=0.9,
+        ),
+        # Dynamic normalization (Eq. 3): language-accuracy gaps between
+        # small LSTMs are tiny, exactly the regime normalized* handles.
+        DagConfig(alpha=10.0, normalization="dynamic"),
+        clients_per_round=6,
+        seed=0,
+    )
+    for _ in range(ROUNDS):
+        record = sim.run_round()
+        if record.round_index % 4 == 0:
+            print(f"round {record.round_index}: accuracy {record.mean_accuracy:.3f}")
+
+    labels = dataset.cluster_labels()
+    pureness = approval_pureness(sim.tangle, labels)
+    late_pureness = approval_pureness(sim.tangle, labels, since_round=ROUNDS // 2)
+    print(f"\napproval pureness (whole run) : {pureness:.2f}  (random base 0.50)")
+    print(f"approval pureness (late half) : {late_pureness:.2f}")
+
+    # Cross-evaluate late published models on both languages.
+    english = [c for c in dataset.clients if c.cluster_id == 0]
+    german = [c for c in dataset.clients if c.cluster_id == 1]
+    print("\nlate transactions, evaluated on each language:")
+    print(f"{'tx':>12} {'issuer lang':>12} {'acc (en)':>9} {'acc (de)':>9}")
+    for tx in sim.tangle.transactions():
+        if tx.is_genesis or tx.round_index < ROUNDS - 2:
+            continue
+        acc_en = float(np.mean([
+            sim.clients[c.client_id].accuracy_of_weights(tx.model_weights)
+            for c in english
+        ]))
+        acc_de = float(np.mean([
+            sim.clients[c.client_id].accuracy_of_weights(tx.model_weights)
+            for c in german
+        ]))
+        lang = "english" if labels[tx.issuer] == 0 else "german"
+        print(f"{tx.tx_id:>12} {lang:>12} {acc_en:>9.3f} {acc_de:>9.3f}")
+    print(
+        "\nModels published by English clients score higher on English test\n"
+        "data and vice versa: the lineages have specialized by language."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Label-flip poisoning and why the accuracy walk contains it.
+
+Scenario (paper Section 5.3.4): after a clean training phase, 25 % of the
+writers get their labels 3 and 8 swapped — e.g. by forged sensing
+hardware.  The poisoned clients keep participating honestly.  We compare
+the accuracy-biased tip selector against the uniform-random baseline and
+measure how many {3, 8} test samples the clients' selected reference
+models mispredict as the other class.
+
+Run:  python examples/poisoning_containment.py
+"""
+
+import numpy as np
+
+from repro.data import make_fmnist_by_writer
+from repro.fl import DagConfig, TangleLearning, TrainingConfig
+from repro.poisoning import (
+    count_approved_poisoned,
+    network_flipped_prediction_rate,
+    poison_dataset_label_flip,
+)
+from repro.nn import zoo
+
+CLEAN_ROUNDS = 8
+ATTACK_ROUNDS = 8
+POISONED_FRACTION = 0.25
+
+
+def run(selector: str) -> None:
+    dataset = make_fmnist_by_writer(num_clients=8, samples_per_client=40, seed=5)
+    sim = TangleLearning(
+        dataset,
+        lambda rng: zoo.build_fmnist_cnn(rng, image_size=14, size="small"),
+        TrainingConfig(local_epochs=1, local_batches=4, batch_size=10, learning_rate=0.1),
+        DagConfig(alpha=10.0, selector=selector),
+        clients_per_round=5,
+        seed=0,
+    )
+    sim.run(CLEAN_ROUNDS)
+
+    poisoned_ds, poisoned_ids = poison_dataset_label_flip(
+        dataset, class_a=3, class_b=8, poisoned_fraction=POISONED_FRACTION, seed=1
+    )
+    for client_data in poisoned_ds.clients:
+        sim.clients[client_data.client_id].data = client_data
+        sim.clients[client_data.client_id].reset_cache()
+
+    print(f"\nselector = {selector!r}; poisoned clients: {sorted(poisoned_ids)}")
+    print(f"{'round':>5} {'flipped %':>10} {'approved poisoned':>18}")
+    for _ in range(ATTACK_ROUNDS):
+        sim.run_round()
+        reference_weights = {}
+        approved = []
+        for client_id in sorted(sim.clients):
+            tip = sim.reference_tip(client_id)
+            reference_weights[client_id] = sim.tangle.get(tip).model_weights
+            approved.append(count_approved_poisoned(sim.tangle, tip, poisoned_ids))
+        flipped = network_flipped_prediction_rate(
+            sim.model,
+            reference_weights,
+            {cid: c.data for cid, c in sim.clients.items()},
+        )
+        print(
+            f"{sim.round_index - 1:>5} {100 * flipped:>9.1f}% "
+            f"{np.mean(approved):>18.1f}"
+        )
+
+
+def main() -> None:
+    print(
+        "The accuracy-biased walk does not *exclude* poisoned transactions —\n"
+        "it contains them inside the attackers' own cluster, so benign\n"
+        "clients' reference models stay clean.  The random selector spreads\n"
+        "them across everyone's consensus instead."
+    )
+    run("accuracy")
+    run("random")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: decentralized federated learning on a DAG in ~30 lines.
+
+Nine clients hold handwritten digits from three disjoint class clusters
+({0-3}, {4-6}, {7-9}).  Each round, active clients walk the tangle with
+the accuracy-biased random walk, average the two selected tip models,
+train locally, and publish.  Watch the accuracy rise and — without any
+clustering code in the protocol — the approval graph organize into the
+three data clusters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.data import make_fmnist_clustered
+from repro.fl import DagConfig, TangleLearning, TrainingConfig
+from repro.metrics import analyze_specialization
+from repro.nn import zoo
+
+
+def main() -> None:
+    dataset = make_fmnist_clustered(num_clients=9, samples_per_client=40, seed=7)
+    print(f"dataset: {dataset.summary()}")
+
+    sim = TangleLearning(
+        dataset,
+        model_builder=lambda rng: zoo.build_fmnist_cnn(rng, image_size=14, size="small"),
+        train_config=TrainingConfig(
+            local_epochs=1, local_batches=4, batch_size=10, learning_rate=0.1
+        ),
+        dag_config=DagConfig(alpha=10.0),
+        clients_per_round=6,
+        seed=0,
+    )
+
+    print(f"{'round':>5} {'accuracy':>9} {'reference':>10} {'published':>10} {'tangle':>7}")
+    for _ in range(12):
+        record = sim.run_round()
+        reference = sum(record.reference_accuracy.values()) / len(
+            record.reference_accuracy
+        )
+        print(
+            f"{record.round_index:>5} {record.mean_accuracy:>9.3f} "
+            f"{reference:>10.3f} {len(record.published):>10} {len(sim.tangle):>7}"
+        )
+
+    report = analyze_specialization(sim.tangle, dataset.cluster_labels(), seed=0)
+    print("\nimplicit specialization (no clustering ran inside the protocol):")
+    print(f"  approval pureness : {report.pureness:.2f} (random base {report.base_pureness:.2f})")
+    print(f"  modularity        : {report.modularity:.2f}")
+    print(f"  inferred clusters : {report.num_partitions}")
+    print(f"  misclassification : {report.misclassification:.2f}")
+    print(f"  client -> cluster : {report.partition}")
+
+
+if __name__ == "__main__":
+    main()

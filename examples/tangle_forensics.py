@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Persisting, reloading, and visually inspecting a trained tangle.
+
+Runs a short specializing-DAG session, saves the full DAG (structure +
+every model's weights) to one ``.npz``, reloads it, and produces the
+analysis artifacts an operator would want: shape statistics, the derived
+client graph with Louvain communities, and a Graphviz rendering colored
+by data cluster (the paper's Figure 4, from real data).
+
+Run:  python examples/tangle_forensics.py
+"""
+
+from pathlib import Path
+
+from repro.dag import load_tangle, save_tangle, tangle_statistics, to_dot
+from repro.data import make_fmnist_clustered
+from repro.fl import DagConfig, TangleLearning, TrainingConfig
+from repro.metrics import analyze_specialization
+from repro.nn import zoo
+
+OUT_DIR = Path("results/forensics")
+
+
+def main() -> None:
+    dataset = make_fmnist_clustered(num_clients=9, samples_per_client=40, seed=7)
+    sim = TangleLearning(
+        dataset,
+        lambda rng: zoo.build_fmnist_cnn(rng, image_size=14, size="small"),
+        TrainingConfig(local_epochs=1, local_batches=4, batch_size=10, learning_rate=0.1),
+        DagConfig(alpha=10.0),
+        clients_per_round=6,
+        seed=0,
+    )
+    sim.run(10)
+
+    saved = save_tangle(sim.tangle, OUT_DIR / "session")
+    print(f"saved tangle ({len(sim.tangle)} transactions) -> {saved}")
+
+    tangle = load_tangle(saved)
+    stats = tangle_statistics(tangle)
+    print("\nDAG statistics:")
+    for key, value in stats.items():
+        print(f"  {key:>18}: {value}")
+
+    report = analyze_specialization(tangle, dataset.cluster_labels(), seed=0)
+    print("\ncommunities recovered from the reloaded DAG:")
+    for community in sorted(set(report.partition.values())):
+        members = sorted(c for c, p in report.partition.items() if p == community)
+        truths = {dataset.cluster_labels()[m] for m in members}
+        print(f"  community {community}: clients {members} "
+              f"(true clusters: {sorted(truths)})")
+
+    dot_path = OUT_DIR / "tangle.dot"
+    dot_path.write_text(to_dot(tangle, cluster_labels=dataset.cluster_labels()))
+    print(f"\nGraphviz rendering -> {dot_path}")
+    print("  (render with: dot -Tsvg results/forensics/tangle.dot -o tangle.svg)")
+
+    # Models from the DAG are immediately usable after reload — and they
+    # are *specialized*: a tip issued by a same-cluster client serves
+    # client 0 far better than a foreign cluster's tip.
+    labels = dataset.cluster_labels()
+    client = dataset.clients[0]
+    print(f"\nreloaded tip models evaluated on client 0 (cluster {labels[0]}):")
+    for tip in tangle.tips():
+        issuer = tangle.get(tip).issuer
+        sim.model.set_weights(tangle.get(tip).model_weights)
+        _, accuracy = sim.model.evaluate(client.x_test, client.y_test)
+        marker = "<-- same cluster" if labels[issuer] == labels[0] else ""
+        print(f"  {tip:>10} (issuer cluster {labels[issuer]}): "
+              f"{accuracy:.2f} {marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools < 70 without the ``wheel``
+package, so PEP 660 editable installs fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` via the fallback) work offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""The tangle substrate: a DAG of model-update transactions.
+
+Nodes of the graph are model weight updates; edges are approvals of the
+two transactions a new model was derived from (Popov's tangle, adapted to
+federated learning as in the paper).  The tip-selection algorithms —
+uniform random, cumulative-weight biased, and the paper's accuracy-biased
+walk — live in :mod:`repro.dag.tip_selection`.
+"""
+
+from repro.dag.transaction import Transaction, GENESIS_ID
+from repro.dag.tangle import Tangle
+from repro.dag.view import TangleView
+from repro.dag.persistence import save_tangle, load_tangle
+from repro.dag.export import tangle_statistics, to_dot, to_networkx
+from repro.dag.random_walk import random_walk, sample_walk_start
+from repro.dag.tip_selection import (
+    AccuracyTipSelector,
+    RandomTipSelector,
+    TipSelector,
+    WeightedTipSelector,
+    accuracy_walk_weights,
+    normalize_standard,
+    normalize_dynamic,
+)
+
+__all__ = [
+    "Transaction",
+    "GENESIS_ID",
+    "Tangle",
+    "TangleView",
+    "save_tangle",
+    "load_tangle",
+    "tangle_statistics",
+    "to_dot",
+    "to_networkx",
+    "random_walk",
+    "sample_walk_start",
+    "TipSelector",
+    "RandomTipSelector",
+    "WeightedTipSelector",
+    "AccuracyTipSelector",
+    "accuracy_walk_weights",
+    "normalize_standard",
+    "normalize_dynamic",
+]

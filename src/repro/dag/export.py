@@ -1,0 +1,88 @@
+"""Exporting tangles for analysis and visualization."""
+
+from __future__ import annotations
+
+from repro.dag.tangle import Tangle
+
+__all__ = ["to_networkx", "to_dot", "tangle_statistics"]
+
+
+def to_networkx(tangle: Tangle):
+    """The tangle as a ``networkx.DiGraph`` (edges: approving -> approved).
+
+    Node attributes: ``issuer``, ``round``, ``is_tip`` plus any tags.
+    Weights are intentionally not attached (they can be huge); use the
+    tangle itself for model access.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    for tx in tangle.transactions():
+        graph.add_node(
+            tx.tx_id,
+            issuer=tx.issuer,
+            round=tx.round_index,
+            is_tip=tangle.is_tip(tx.tx_id),
+            **tx.tags,
+        )
+    for tx in tangle.transactions():
+        for parent in tx.parents:
+            graph.add_edge(tx.tx_id, parent)
+    return graph
+
+
+def to_dot(tangle: Tangle, *, cluster_labels: dict[int, int] | None = None) -> str:
+    """A Graphviz dot rendering of the tangle.
+
+    With ``cluster_labels`` (client id -> cluster), nodes are colored by
+    their issuer's cluster, which makes the implicit specialization
+    visible (Figure 4 of the paper).
+    """
+    palette = [
+        "lightblue", "lightcoral", "lightgreen", "gold", "plum",
+        "lightsalmon", "paleturquoise", "khaki", "lightpink", "lightgray",
+    ]
+    lines = ["digraph tangle {", "  rankdir=RL;", "  node [style=filled];"]
+    for tx in tangle.transactions():
+        if tx.is_genesis:
+            color = "white"
+            label = "genesis"
+        else:
+            label = f"{tx.tx_id}\\nclient {tx.issuer} r{tx.round_index}"
+            if cluster_labels is not None and tx.issuer in cluster_labels:
+                color = palette[cluster_labels[tx.issuer] % len(palette)]
+            else:
+                color = "lightgray"
+        shape = "doublecircle" if tangle.is_tip(tx.tx_id) else "ellipse"
+        lines.append(
+            f'  "{tx.tx_id}" [label="{label}", fillcolor={color}, shape={shape}];'
+        )
+    for tx in tangle.transactions():
+        for parent in tx.parents:
+            lines.append(f'  "{tx.tx_id}" -> "{parent}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tangle_statistics(tangle: Tangle) -> dict:
+    """Aggregate DAG shape statistics for experiment logs."""
+    transactions = [tx for tx in tangle.transactions() if not tx.is_genesis]
+    per_round: dict[int, int] = {}
+    issuers: dict[int, int] = {}
+    for tx in transactions:
+        per_round[tx.round_index] = per_round.get(tx.round_index, 0) + 1
+        issuers[tx.issuer] = issuers.get(tx.issuer, 0) + 1
+    approver_counts = [
+        len(tangle.approvers(tx.tx_id)) for tx in tangle.transactions()
+    ]
+    return {
+        "transactions": len(transactions),
+        "tips": len(tangle.tips()),
+        "rounds": len(per_round),
+        "max_width": max(per_round.values()) if per_round else 0,
+        "mean_width": (
+            sum(per_round.values()) / len(per_round) if per_round else 0.0
+        ),
+        "distinct_issuers": len(issuers),
+        "max_approvers": max(approver_counts) if approver_counts else 0,
+    }

@@ -1,0 +1,83 @@
+"""Saving and loading tangles.
+
+A tangle is stored as one ``.npz`` holding every transaction's weight
+arrays (keyed ``<tx_id>/<index>``) plus a JSON sidecar-free ``meta``
+entry describing structure (parents, issuers, rounds, tags).  This makes
+long experiments resumable and lets analysis tooling load a DAG without
+re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+
+__all__ = ["save_tangle", "load_tangle"]
+
+_META_KEY = "__tangle_meta__"
+
+
+def save_tangle(tangle: Tangle, path: str | Path) -> Path:
+    """Serialize ``tangle`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {}
+    meta: list[dict] = []
+    for tx in tangle.transactions():
+        meta.append(
+            {
+                "tx_id": tx.tx_id,
+                "parents": list(tx.parents),
+                "issuer": tx.issuer,
+                "round_index": tx.round_index,
+                "tags": tx.tags,
+                "num_arrays": len(tx.model_weights),
+            }
+        )
+        for i, array in enumerate(tx.model_weights):
+            arrays[f"{tx.tx_id}/{i}"] = array
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_tangle(path: str | Path) -> Tangle:
+    """Load a tangle previously written by :func:`save_tangle`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if _META_KEY not in data:
+            raise ValueError(f"{path} is not a saved tangle (missing metadata)")
+        meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+
+        def weights_of(entry: dict) -> list[np.ndarray]:
+            return [
+                np.array(data[f"{entry['tx_id']}/{i}"])
+                for i in range(entry["num_arrays"])
+            ]
+
+        if not meta or meta[0]["tx_id"] != GENESIS_ID:
+            raise ValueError("saved tangle does not start with genesis")
+        tangle = Tangle(weights_of(meta[0]))
+        for entry in meta[1:]:
+            tangle.add(
+                Transaction(
+                    tx_id=entry["tx_id"],
+                    parents=tuple(entry["parents"]),
+                    model_weights=weights_of(entry),
+                    issuer=entry["issuer"],
+                    round_index=entry["round_index"],
+                    tags=entry["tags"],
+                )
+            )
+    return tangle

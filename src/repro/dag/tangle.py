@@ -1,0 +1,153 @@
+"""Append-only DAG store with tip bookkeeping and weight queries."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.dag.transaction import GENESIS_ID, Transaction
+
+__all__ = ["Tangle"]
+
+
+class Tangle:
+    """The DAG of model updates.
+
+    Acyclicity is guaranteed by construction: a transaction may only
+    approve transactions that already exist, so every edge points strictly
+    backwards in insertion order.  Walks move in the *opposite* direction
+    of approvals, from older transactions towards the tips, via
+    :meth:`approvers` (Algorithm 1's ``GetChildren``).
+    """
+
+    def __init__(self, genesis_weights: list[np.ndarray]):
+        genesis = Transaction(
+            tx_id=GENESIS_ID,
+            parents=(),
+            model_weights=genesis_weights,
+            issuer=-1,
+            round_index=-1,
+        )
+        self._transactions: dict[str, Transaction] = {GENESIS_ID: genesis}
+        self._approvers: dict[str, list[str]] = {GENESIS_ID: []}
+        self._tips: set[str] = {GENESIS_ID}
+        self._order: list[str] = [GENESIS_ID]
+        self._counter = 0
+
+    # ------------------------------------------------------------ queries
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._transactions
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    @property
+    def genesis(self) -> Transaction:
+        return self._transactions[GENESIS_ID]
+
+    def get(self, tx_id: str) -> Transaction:
+        try:
+            return self._transactions[tx_id]
+        except KeyError:
+            raise KeyError(f"unknown transaction {tx_id!r}") from None
+
+    def transactions(self) -> list[Transaction]:
+        """All transactions in insertion (topological) order."""
+        return [self._transactions[tx_id] for tx_id in self._order]
+
+    def approvers(self, tx_id: str) -> list[str]:
+        """Transactions that directly approve ``tx_id`` (walk successors)."""
+        if tx_id not in self._transactions:
+            raise KeyError(f"unknown transaction {tx_id!r}")
+        return list(self._approvers[tx_id])
+
+    def tips(self) -> list[str]:
+        """Transactions that have received no approvals yet, sorted."""
+        return sorted(self._tips)
+
+    def is_tip(self, tx_id: str) -> bool:
+        return tx_id in self._tips
+
+    # ------------------------------------------------------------ mutation
+    def next_tx_id(self, issuer: int) -> str:
+        """Produce a unique transaction id."""
+        self._counter += 1
+        return f"tx{self._counter}-c{issuer}"
+
+    def add(self, transaction: Transaction) -> None:
+        """Append a transaction whose parents already exist."""
+        if transaction.tx_id in self._transactions:
+            raise ValueError(f"duplicate transaction id {transaction.tx_id!r}")
+        if not transaction.parents:
+            raise ValueError("only genesis may have no parents")
+        for parent in transaction.parents:
+            if parent not in self._transactions:
+                raise ValueError(
+                    f"{transaction.tx_id!r} approves unknown parent {parent!r}"
+                )
+        self._transactions[transaction.tx_id] = transaction
+        self._approvers[transaction.tx_id] = []
+        self._order.append(transaction.tx_id)
+        for parent in transaction.parents:
+            self._approvers[parent].append(transaction.tx_id)
+            self._tips.discard(parent)
+        self._tips.add(transaction.tx_id)
+
+    # ----------------------------------------------------------- analysis
+    def future_cone(self, tx_id: str) -> set[str]:
+        """All transactions that directly or indirectly approve ``tx_id``."""
+        seen: set[str] = set()
+        queue = deque(self._approvers[self.get(tx_id).tx_id])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self._approvers[current])
+        return seen
+
+    def past_cone(self, tx_id: str) -> set[str]:
+        """All transactions ``tx_id`` directly or indirectly approves."""
+        seen: set[str] = set()
+        queue = deque(self.get(tx_id).parents)
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self._transactions[current].parents)
+        return seen
+
+    def cumulative_weight(self, tx_id: str) -> int:
+        """Classic tangle weight: own weight plus all approving txs."""
+        return 1 + len(self.future_cone(tx_id))
+
+    def depth_from_tips(self, tx_id: str) -> int:
+        """Shortest approval distance from any tip to ``tx_id`` (0 = tip)."""
+        if self.is_tip(tx_id):
+            return 0
+        distance = {tx_id: 0}
+        queue = deque([tx_id])
+        while queue:
+            current = queue.popleft()
+            for approver in self._approvers[current]:
+                if approver in distance:
+                    continue
+                distance[approver] = distance[current] + 1
+                if approver in self._tips:
+                    return distance[approver]
+                queue.append(approver)
+        raise RuntimeError("DAG invariant violated: no tip above a transaction")
+
+    def approval_edges(self) -> list[tuple[Transaction, Transaction]]:
+        """All (approving, approved) transaction pairs, genesis excluded."""
+        edges: list[tuple[Transaction, Transaction]] = []
+        for tx_id in self._order:
+            tx = self._transactions[tx_id]
+            for parent in tx.parents:
+                parent_tx = self._transactions[parent]
+                if parent_tx.is_genesis:
+                    continue
+                edges.append((tx, parent_tx))
+        return edges

@@ -1,0 +1,193 @@
+"""Tip-selection algorithms.
+
+Three selectors are provided:
+
+- :class:`RandomTipSelector` — uniform over current tips (the paper's
+  "random tip selector" baseline in the poisoning study);
+- :class:`WeightedTipSelector` — the classic tangle walk biased by
+  cumulative transaction weight (Figure 3 of the paper);
+- :class:`AccuracyTipSelector` — the paper's contribution: the walk is
+  biased by each candidate model's accuracy *on the selecting client's
+  local test data* (Algorithm 1), with either the standard (Eq. 1-2) or
+  the dynamic-spread (Eq. 3) normalization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.dag.random_walk import random_walk, sample_walk_start
+from repro.dag.tangle import Tangle
+
+__all__ = [
+    "TipSelector",
+    "RandomTipSelector",
+    "WeightedTipSelector",
+    "AccuracyTipSelector",
+    "normalize_standard",
+    "normalize_dynamic",
+    "accuracy_walk_weights",
+]
+
+AccuracyFn = Callable[[str], float]
+
+
+def normalize_standard(accuracies: np.ndarray) -> np.ndarray:
+    """Eq. 1: subtract the maximum accuracy (all values become <= 0)."""
+    return accuracies - accuracies.max()
+
+
+def normalize_dynamic(accuracies: np.ndarray) -> np.ndarray:
+    """Eq. 3: additionally divide by the spread of accuracies.
+
+    Makes the walk scale-free w.r.t. the absolute accuracy differences,
+    which the paper shows helps small alpha values.  Falls back to the
+    standard normalization when all accuracies are equal (zero spread).
+    """
+    spread = accuracies.max() - accuracies.min()
+    shifted = accuracies - accuracies.max()
+    if spread <= 0:
+        return shifted  # all zero
+    return shifted / spread
+
+
+_NORMALIZATIONS = {
+    "standard": normalize_standard,
+    "dynamic": normalize_dynamic,
+}
+
+
+def accuracy_walk_weights(
+    accuracies: np.ndarray, alpha: float, *, normalization: str = "standard"
+) -> np.ndarray:
+    """Walk-step probabilities from candidate accuracies (Eq. 1-3).
+
+    ``weight = exp(alpha * normalized)``, then normalized to sum to one.
+    Higher ``alpha`` means more determinism; ``alpha = 0`` is uniform.
+    """
+    try:
+        normalize = _NORMALIZATIONS[normalization]
+    except KeyError:
+        raise ValueError(
+            f"unknown normalization {normalization!r}; "
+            f"expected one of {sorted(_NORMALIZATIONS)}"
+        ) from None
+    if accuracies.ndim != 1 or accuracies.size == 0:
+        raise ValueError("accuracies must be a non-empty 1-D array")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    weights = np.exp(alpha * normalize(np.asarray(accuracies, dtype=np.float64)))
+    return weights / weights.sum()
+
+
+class TipSelector(Protocol):
+    """Interface: produce the tips a new transaction should approve."""
+
+    def select_tips(
+        self, tangle: Tangle, count: int, rng: np.random.Generator
+    ) -> list[str]:
+        """Return ``count`` tip ids (may repeat if fewer tips exist)."""
+        ...
+
+
+class RandomTipSelector:
+    """Uniform choice among the current tips (no walk)."""
+
+    def select_tips(
+        self, tangle: Tangle, count: int, rng: np.random.Generator
+    ) -> list[str]:
+        tips = tangle.tips()
+        distinct = min(count, len(tips))
+        chosen = list(rng.choice(len(tips), size=distinct, replace=False))
+        selected = [tips[i] for i in chosen]
+        while len(selected) < count:
+            selected.append(tips[int(rng.integers(0, len(tips)))])
+        return selected
+
+
+class WeightedTipSelector:
+    """Classic cumulative-weight-biased walk (traditional tangle).
+
+    Transition weights are ``exp(alpha * (w - max(w)))`` over the
+    approvers' cumulative weights, the Markov-chain Monte Carlo rule of
+    Popov's tangle.
+    """
+
+    def __init__(self, alpha: float = 0.5, *, depth_range: tuple[int, int] = (15, 25)):
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+        self.depth_range = depth_range
+
+    def select_tips(
+        self, tangle: Tangle, count: int, rng: np.random.Generator
+    ) -> list[str]:
+        def transition(
+            _node: str, approvers: list[str], step_rng: np.random.Generator
+        ) -> str:
+            weights = np.array(
+                [tangle.cumulative_weight(a) for a in approvers], dtype=np.float64
+            )
+            probs = np.exp(self.alpha * (weights - weights.max()))
+            probs /= probs.sum()
+            return approvers[int(step_rng.choice(len(approvers), p=probs))]
+
+        selected = []
+        for _ in range(count):
+            start = sample_walk_start(tangle, rng, depth_range=self.depth_range)
+            selected.append(random_walk(tangle, start, transition, rng))
+        return selected
+
+
+class AccuracyTipSelector:
+    """The paper's accuracy-biased tip selection (Algorithm 1).
+
+    ``accuracy_fn`` evaluates a transaction's model on the *selecting
+    client's* local test data; implementations should cache per
+    transaction since walks revisit candidates.  ``evaluation_counter``
+    (optional) is called once per model evaluation request, which the
+    scalability experiment uses to account walk cost.
+    """
+
+    def __init__(
+        self,
+        accuracy_fn: AccuracyFn,
+        *,
+        alpha: float = 10.0,
+        normalization: str = "standard",
+        depth_range: tuple[int, int] = (15, 25),
+        evaluation_counter: Callable[[int], None] | None = None,
+    ):
+        if normalization not in _NORMALIZATIONS:
+            raise ValueError(f"unknown normalization {normalization!r}")
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.accuracy_fn = accuracy_fn
+        self.alpha = alpha
+        self.normalization = normalization
+        self.depth_range = depth_range
+        self.evaluation_counter = evaluation_counter
+
+    def _transition(
+        self, _node: str, approvers: list[str], rng: np.random.Generator
+    ) -> str:
+        if self.evaluation_counter is not None:
+            self.evaluation_counter(len(approvers))
+        accuracies = np.array(
+            [self.accuracy_fn(a) for a in approvers], dtype=np.float64
+        )
+        probs = accuracy_walk_weights(
+            accuracies, self.alpha, normalization=self.normalization
+        )
+        return approvers[int(rng.choice(len(approvers), p=probs))]
+
+    def select_tips(
+        self, tangle: Tangle, count: int, rng: np.random.Generator
+    ) -> list[str]:
+        selected = []
+        for _ in range(count):
+            start = sample_walk_start(tangle, rng, depth_range=self.depth_range)
+            selected.append(random_walk(tangle, start, self._transition, rng))
+        return selected

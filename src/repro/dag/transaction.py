@@ -1,0 +1,49 @@
+"""Transactions: nodes of the model-update DAG."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Transaction", "GENESIS_ID"]
+
+#: Id of the genesis transaction every tangle starts with.
+GENESIS_ID = "genesis"
+
+
+@dataclass
+class Transaction:
+    """A published model update.
+
+    ``parents`` are the transactions this update approves (the two tips
+    whose models were averaged and trained).  ``model_weights`` is the
+    plain list-of-arrays weight format of :mod:`repro.nn.serialization` —
+    the paper calls these "model weights", distinct from the walk weights.
+    ``issuer`` is the publishing client's id (-1 for genesis), and ``tags``
+    carries experiment annotations (e.g. whether the issuer was poisoned)
+    that the *protocol never reads* — they exist for evaluation only.
+    """
+
+    tx_id: str
+    parents: tuple[str, ...]
+    model_weights: list[np.ndarray]
+    issuer: int
+    round_index: int
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.parents)) != len(self.parents):
+            raise ValueError(f"duplicate parents in {self.tx_id}: {self.parents}")
+        if self.tx_id in self.parents:
+            raise ValueError("a transaction cannot approve itself")
+
+    @property
+    def is_genesis(self) -> bool:
+        return not self.parents
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transaction({self.tx_id}, issuer={self.issuer}, "
+            f"round={self.round_index}, parents={list(self.parents)})"
+        )

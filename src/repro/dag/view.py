@@ -1,0 +1,91 @@
+"""Round-bounded views of a tangle.
+
+In a real deployment, transactions propagate with network delay: a client
+selecting tips may not yet have seen the most recent publications.  A
+:class:`TangleView` exposes the subset of a tangle published up to a
+given round through the same read API the tip selectors use, so the
+simulator can model propagation delay without copying the DAG.
+"""
+
+from __future__ import annotations
+
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+
+__all__ = ["TangleView"]
+
+
+class TangleView:
+    """Read-only view of ``tangle`` restricted to rounds <= ``max_round``.
+
+    Implements the query surface used by the random walks and tip
+    selectors (``get``, ``approvers``, ``tips``, ``is_tip``,
+    ``__contains__``, ``cumulative_weight``, ``approval_edges``).  The
+    genesis (round -1) is always visible, so a view is never empty.
+    """
+
+    def __init__(self, tangle: Tangle, max_round: int):
+        self._tangle = tangle
+        self.max_round = max_round
+
+    def _visible(self, tx: Transaction) -> bool:
+        return tx.is_genesis or tx.round_index <= self.max_round
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._tangle and self._visible(self._tangle.get(tx_id))
+
+    def __len__(self) -> int:
+        return sum(1 for tx in self._tangle.transactions() if self._visible(tx))
+
+    @property
+    def genesis(self) -> Transaction:
+        return self._tangle.genesis
+
+    def get(self, tx_id: str) -> Transaction:
+        tx = self._tangle.get(tx_id)
+        if not self._visible(tx):
+            raise KeyError(f"transaction {tx_id!r} not visible at round {self.max_round}")
+        return tx
+
+    def transactions(self) -> list[Transaction]:
+        return [tx for tx in self._tangle.transactions() if self._visible(tx)]
+
+    def approvers(self, tx_id: str) -> list[str]:
+        self.get(tx_id)  # visibility check
+        return [
+            a
+            for a in self._tangle.approvers(tx_id)
+            if self._visible(self._tangle.get(a))
+        ]
+
+    def tips(self) -> list[str]:
+        """Visible transactions with no visible approvers."""
+        return sorted(
+            tx.tx_id
+            for tx in self.transactions()
+            if not self.approvers(tx.tx_id)
+        )
+
+    def is_tip(self, tx_id: str) -> bool:
+        return tx_id in self and not self.approvers(tx_id)
+
+    def cumulative_weight(self, tx_id: str) -> int:
+        """Own weight plus visible approving transactions."""
+        from collections import deque
+
+        self.get(tx_id)
+        seen: set[str] = set()
+        queue = deque(self.approvers(tx_id))
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.approvers(current))
+        return 1 + len(seen)
+
+    def approval_edges(self):
+        """Visible (approving, approved) pairs, genesis excluded."""
+        for approving, approved in self._tangle.approval_edges():
+            if self._visible(approving) and self._visible(approved):
+                yield approving, approved

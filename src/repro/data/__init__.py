@@ -1,0 +1,26 @@
+"""Dataset substrates.
+
+The paper evaluates on FEMNIST (synthetically clustered), a
+Shakespeare+Goethe text corpus ("Poets"), CIFAR-100 with Pachinko client
+allocation, and the FedProx synthetic dataset.  This environment has no
+network access, so each is replaced by a generator that preserves the
+structural properties the experiments probe (see DESIGN.md section 2).
+"""
+
+from repro.data.base import ClientData, FederatedDataset
+from repro.data.fmnist import make_fmnist_clustered, make_fmnist_by_writer
+from repro.data.poets import make_poets
+from repro.data.cifar import make_cifar100_like
+from repro.data.fedprox_synthetic import make_fedprox_synthetic
+from repro.data.pachinko import pachinko_allocation
+
+__all__ = [
+    "ClientData",
+    "FederatedDataset",
+    "make_fmnist_clustered",
+    "make_fmnist_by_writer",
+    "make_poets",
+    "make_cifar100_like",
+    "make_fedprox_synthetic",
+    "pachinko_allocation",
+]

@@ -1,0 +1,121 @@
+"""Containers for federated datasets.
+
+A :class:`FederatedDataset` is a collection of :class:`ClientData`, each
+holding a private train/test split (the paper uses 90:10 per client) plus
+a ground-truth cluster id used only by the *evaluation* metrics — the
+learning algorithms never see it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ClientData", "FederatedDataset", "train_test_split"]
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    test_fraction: float = 0.1,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/test with at least one test sample."""
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    n_test = min(n_test, n - 1)
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+@dataclass
+class ClientData:
+    """One client's private data and ground-truth cluster label."""
+
+    client_id: int
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    cluster_id: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.x_train.shape[0] != self.y_train.shape[0]:
+            raise ValueError("x_train/y_train length mismatch")
+        if self.x_test.shape[0] != self.y_test.shape[0]:
+            raise ValueError("x_test/y_test length mismatch")
+        if self.x_train.shape[0] == 0 or self.x_test.shape[0] == 0:
+            raise ValueError("clients must have non-empty train and test data")
+
+    @property
+    def n_train(self) -> int:
+        return int(self.x_train.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        return int(self.x_test.shape[0])
+
+    def classes_present(self) -> np.ndarray:
+        """Sorted unique labels across this client's train and test data."""
+        return np.unique(np.concatenate([self.y_train, self.y_test]))
+
+
+@dataclass
+class FederatedDataset:
+    """A named federation of clients over a shared label space."""
+
+    name: str
+    num_classes: int
+    num_clusters: int
+    clients: list[ClientData]
+
+    def __post_init__(self) -> None:
+        if not self.clients:
+            raise ValueError("a federated dataset needs at least one client")
+        ids = [c.client_id for c in self.clients]
+        if len(set(ids)) != len(ids):
+            raise ValueError("client ids must be unique")
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    def client(self, client_id: int) -> ClientData:
+        """Look up a client by id."""
+        for c in self.clients:
+            if c.client_id == client_id:
+                return c
+        raise KeyError(f"no client with id {client_id}")
+
+    def cluster_labels(self) -> dict[int, int]:
+        """Map client id -> ground-truth cluster id."""
+        return {c.client_id: c.cluster_id for c in self.clients}
+
+    def clients_in_cluster(self, cluster_id: int) -> list[ClientData]:
+        return [c for c in self.clients if c.cluster_id == cluster_id]
+
+    def global_test_set(self) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenation of every client's test data (for global metrics)."""
+        xs = np.concatenate([c.x_test for c in self.clients], axis=0)
+        ys = np.concatenate([c.y_test for c in self.clients], axis=0)
+        return xs, ys
+
+    def summary(self) -> dict:
+        """Lightweight description used by experiment logs."""
+        sizes = [c.n_train for c in self.clients]
+        return {
+            "name": self.name,
+            "clients": self.num_clients,
+            "classes": self.num_classes,
+            "clusters": self.num_clusters,
+            "train_samples": int(np.sum(sizes)),
+            "min_client_train": int(np.min(sizes)),
+            "max_client_train": int(np.max(sizes)),
+        }

@@ -1,0 +1,179 @@
+"""The "Poets" next-character-prediction dataset.
+
+The paper combines LEAF's Shakespeare dataset with Goethe plays from
+Project Gutenberg, assigning English and German speakers to separate
+clusters.  Offline substitute: small embedded public-domain excerpts of
+each author seed an order-2 character Markov generator, which expands them
+into per-client corpora.  English and German differ strongly in character
+bigram statistics, which is exactly the signal a small next-character LSTM
+picks up, so cluster structure is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.base import ClientData, FederatedDataset, train_test_split
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "SHAKESPEARE_SEED",
+    "GOETHE_SEED",
+    "MarkovTextGenerator",
+    "build_vocabulary",
+    "encode_text",
+    "make_poets",
+]
+
+SHAKESPEARE_SEED = (
+    "to be or not to be that is the question whether tis nobler in the mind "
+    "to suffer the slings and arrows of outrageous fortune or to take arms "
+    "against a sea of troubles and by opposing end them to die to sleep no "
+    "more and by a sleep to say we end the heartache and the thousand natural "
+    "shocks that flesh is heir to tis a consummation devoutly to be wished to "
+    "die to sleep to sleep perchance to dream ay there is the rub for in that "
+    "sleep of death what dreams may come when we have shuffled off this mortal "
+    "coil must give us pause there is the respect that makes calamity of so "
+    "long life shall i compare thee to a summers day thou art more lovely and "
+    "more temperate rough winds do shake the darling buds of may and summers "
+    "lease hath all too short a date sometime too hot the eye of heaven shines "
+    "and often is his gold complexion dimmed and every fair from fair sometime "
+    "declines by chance or natures changing course untrimmed but thy eternal "
+    "summer shall not fade nor lose possession of that fair thou owest nor "
+    "shall death brag thou wanderest in his shade when in eternal lines to "
+    "time thou growest so long as men can breathe or eyes can see so long "
+    "lives this and this gives life to thee all the world is a stage and all "
+    "the men and women merely players they have their exits and their "
+    "entrances and one man in his time plays many parts"
+)
+
+GOETHE_SEED = (
+    "habe nun ach philosophie juristerei und medizin und leider auch theologie "
+    "durchaus studiert mit heißem bemühn da steh ich nun ich armer tor und "
+    "bin so klug als wie zuvor heiße magister heiße doktor gar und ziehe "
+    "schon an die zehen jahr herauf herab und quer und krumm meine schüler an "
+    "der nase herum und sehe daß wir nichts wissen können das will mir "
+    "schier das herz verbrennen wer reitet so spät durch nacht und wind es "
+    "ist der vater mit seinem kind er hat den knaben wohl in dem arm er faßt "
+    "ihn sicher er hält ihn warm mein sohn was birgst du so bang dein gesicht "
+    "siehst vater du den erlkönig nicht den erlenkönig mit kron und schweif "
+    "mein sohn es ist ein nebelstreif du liebes kind komm geh mit mir gar "
+    "schöne spiele spiel ich mit dir manch bunte blumen sind an dem strand "
+    "meine mutter hat manch gülden gewand über allen gipfeln ist ruh in "
+    "allen wipfeln spürest du kaum einen hauch die vögelein schweigen im "
+    "walde warte nur balde ruhest du auch es schlug mein herz geschwind zu "
+    "pferde es war getan fast eh gedacht der abend wiegte schon die erde und "
+    "an den bergen hing die nacht schon stand im nebelkleid die eiche ein "
+    "aufgetürmter riese da wo finsternis aus dem gesträuche mit hundert "
+    "schwarzen augen sah"
+)
+
+
+class MarkovTextGenerator:
+    """Order-``k`` character Markov chain fitted on a seed text."""
+
+    def __init__(self, seed_text: str, *, order: int = 2):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if len(seed_text) <= order + 1:
+            raise ValueError("seed text too short for the requested order")
+        self.order = order
+        self.seed_text = seed_text
+        self._transitions: dict[str, tuple[list[str], np.ndarray]] = {}
+        counts: dict[str, dict[str, int]] = {}
+        for i in range(len(seed_text) - order):
+            context = seed_text[i : i + order]
+            nxt = seed_text[i + order]
+            counts.setdefault(context, {}).setdefault(nxt, 0)
+            counts[context][nxt] += 1
+        for context, nxt_counts in counts.items():
+            chars = sorted(nxt_counts)
+            weights = np.array([nxt_counts[c] for c in chars], dtype=np.float64)
+            self._transitions[context] = (chars, weights / weights.sum())
+
+    def generate(self, length: int, rng: np.random.Generator) -> str:
+        """Generate ``length`` characters, restarting on dead-end contexts."""
+        start = int(rng.integers(0, len(self.seed_text) - self.order))
+        context = self.seed_text[start : start + self.order]
+        out = list(context)
+        while len(out) < length:
+            entry = self._transitions.get(context)
+            if entry is None:
+                start = int(rng.integers(0, len(self.seed_text) - self.order))
+                context = self.seed_text[start : start + self.order]
+                out.extend(context)
+                continue
+            chars, probs = entry
+            nxt = chars[int(rng.choice(len(chars), p=probs))]
+            out.append(nxt)
+            context = context[1:] + nxt
+        return "".join(out[:length])
+
+
+def build_vocabulary(texts: list[str]) -> dict[str, int]:
+    """Character vocabulary over a list of texts (sorted for determinism)."""
+    chars = sorted(set("".join(texts)))
+    return {ch: i for i, ch in enumerate(chars)}
+
+
+def encode_text(
+    text: str, vocab: dict[str, int], seq_len: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding-window encoding: sequences of ``seq_len`` chars -> next char."""
+    if len(text) <= seq_len:
+        raise ValueError("text shorter than sequence length")
+    encoded = np.array([vocab[ch] for ch in text], dtype=np.int64)
+    n = len(encoded) - seq_len
+    x = np.empty((n, seq_len), dtype=np.int64)
+    for i in range(n):
+        x[i] = encoded[i : i + seq_len]
+    y = encoded[seq_len:]
+    return x, y
+
+
+def make_poets(
+    *,
+    num_clients: int = 20,
+    samples_per_client: int = 120,
+    seq_len: int = 20,
+    test_fraction: float = 0.1,
+    seed: int | np.random.Generator = 0,
+) -> FederatedDataset:
+    """Poets: half the clients hold English text, half German.
+
+    Cluster 0 is Shakespeare/English, cluster 1 is Goethe/German, matching
+    the paper's two-cluster construction with an equal sample split.
+    """
+    rng = ensure_rng(seed)
+    if num_clients < 2:
+        raise ValueError("need at least 2 clients (one per language)")
+    english = MarkovTextGenerator(SHAKESPEARE_SEED)
+    german = MarkovTextGenerator(GOETHE_SEED)
+    vocab = build_vocabulary([SHAKESPEARE_SEED, GOETHE_SEED])
+
+    clients: list[ClientData] = []
+    for client_id in range(num_clients):
+        cluster_id = client_id % 2
+        generator = english if cluster_id == 0 else german
+        client_rng = ensure_rng(int(rng.integers(0, 2**62)))
+        text = generator.generate(samples_per_client + seq_len, client_rng)
+        x, y = encode_text(text, vocab, seq_len)
+        x_tr, y_tr, x_te, y_te = train_test_split(
+            x, y, client_rng, test_fraction=test_fraction
+        )
+        clients.append(
+            ClientData(
+                client_id=client_id,
+                x_train=x_tr,
+                y_train=y_tr,
+                x_test=x_te,
+                y_test=y_te,
+                cluster_id=cluster_id,
+                metadata={"language": "en" if cluster_id == 0 else "de"},
+            )
+        )
+    dataset = FederatedDataset(
+        name="poets", num_classes=len(vocab), num_clusters=2, clients=clients
+    )
+    dataset.vocab = vocab  # type: ignore[attr-defined]
+    return dataset

@@ -1,0 +1,31 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment is a function ``run(scale, seed=...) -> dict`` returning
+plain JSON-serializable series, registered in
+:data:`repro.experiments.registry.EXPERIMENTS`.  The ``scale`` profile
+(``smoke``/``default``/``paper``) trades fidelity for runtime; shapes are
+expected to hold at every scale, absolute numbers only at ``paper``.
+
+Run from the command line::
+
+    python -m repro.experiments run fig6 --scale smoke
+    python -m repro.experiments list
+"""
+
+from repro.experiments.scale import Scale, SCALES, resolve_scale
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.io import save_result
+from repro.experiments.multiseed import run_multiseed
+from repro.experiments.plotting import line_chart, save_line_chart
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "resolve_scale",
+    "EXPERIMENTS",
+    "get_experiment",
+    "save_result",
+    "run_multiseed",
+    "line_chart",
+    "save_line_chart",
+]

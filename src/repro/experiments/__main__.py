@@ -1,0 +1,166 @@
+"""Command-line entry point for the experiment suite.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig6 --scale smoke --seed 0
+    python -m repro.experiments run table2 --scale default --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.io import save_result, write_series_csv
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.scale import SCALES, resolve_scale
+
+
+#: list-valued result keys that are indices/metadata, not per-round series
+_NON_SERIES_KEYS = {"seeds", "rounds", "metric_rounds", "active_counts", "values"}
+
+
+def collect_numeric_series(result: dict, prefix: str = "") -> dict[str, list]:
+    """Flatten nested dicts into {dotted.path: list-of-numbers} series."""
+    series: dict[str, list] = {}
+    for key, value in result.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            series.update(collect_numeric_series(value, path))
+        elif (
+            key not in _NON_SERIES_KEYS
+            and isinstance(value, list)
+            and value
+            and all(isinstance(v, (int, float)) for v in value)
+        ):
+            series[path] = value
+    return series
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a markdown report over saved results"
+    )
+    report_parser.add_argument(
+        "--results", type=Path, default=Path("results"),
+        help="directory of result JSON files",
+    )
+    report_parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the report here (default: stdout)",
+    )
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--scale", choices=sorted(SCALES), default=None,
+        help="profile (default: $REPRO_SCALE or smoke)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--out", type=Path, default=Path("results"),
+        help="directory for the JSON result",
+    )
+    run_parser.add_argument(
+        "--csv", action="store_true",
+        help="additionally export per-round series as CSV (one file per "
+        "series length, columns are dotted result paths)",
+    )
+    run_parser.add_argument(
+        "--plot", action="store_true",
+        help="additionally render per-round series as SVG line charts",
+    )
+    run_parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="run this many seeds (0..N-1) and aggregate mean/std",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import build_report
+
+        report = build_report(args.results)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(report)
+            print(f"report -> {args.out}")
+        else:
+            print(report)
+        return 0
+
+    scale = resolve_scale(args.scale)
+    runner = get_experiment(args.experiment)
+    started = time.perf_counter()
+    if args.seeds > 1:
+        from repro.experiments.multiseed import run_multiseed
+
+        result = run_multiseed(
+            args.experiment,
+            seeds=[args.seed + i for i in range(args.seeds)],
+            scale=scale,
+        )
+    else:
+        result = runner(scale, seed=args.seed)
+    result.pop("simulator", None)
+    elapsed = time.perf_counter() - started
+    result["elapsed_seconds"] = elapsed
+    out_path = args.out / f"{args.experiment}-{scale.name}-seed{args.seed}.json"
+    save_result(result, out_path)
+    if args.csv:
+        all_series = collect_numeric_series(result)
+        by_length: dict[int, dict[str, list]] = {}
+        for path, values in all_series.items():
+            by_length.setdefault(len(values), {})[path] = values
+        for length, group in sorted(by_length.items()):
+            csv_path = out_path.with_name(f"{out_path.stem}-len{length}.csv")
+            write_series_csv(group, csv_path)
+            print(f"csv -> {csv_path}")
+    if args.plot:
+        from repro.experiments.plotting import save_line_chart
+
+        all_series = collect_numeric_series(result)
+        plottable = {k: v for k, v in all_series.items() if len(v) >= 2}
+        by_length = {}
+        for path, values in plottable.items():
+            by_length.setdefault(len(values), {})[path] = values
+        for length, group in sorted(by_length.items()):
+            svg_path = out_path.with_name(f"{out_path.stem}-len{length}.svg")
+            save_line_chart(
+                group, svg_path,
+                title=f"{args.experiment} [{scale.name}]",
+            )
+            print(f"svg -> {svg_path}")
+    print(f"{args.experiment} [{scale.name}] finished in {elapsed:.1f}s -> {out_path}")
+    print(json.dumps(_brief(result), indent=2, default=str))
+    return 0
+
+
+def _brief(result: dict, *, max_items: int = 6) -> dict:
+    """A short console summary: scalars and truncated series heads."""
+    brief = {}
+    for key, value in result.items():
+        if isinstance(value, list) and len(value) > max_items:
+            brief[key] = value[:max_items] + ["..."]
+        elif isinstance(value, dict):
+            brief[key] = f"<dict with keys {sorted(value)[:8]}>"
+        else:
+            brief[key] = value
+    return brief
+
+
+if __name__ == "__main__":
+    sys.exit(main())

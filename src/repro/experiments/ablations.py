@@ -1,0 +1,92 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: each ablation isolates one protocol
+ingredient of the specializing DAG and reports its effect on accuracy and
+approval pureness on FMNIST-clustered.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    build_dataset,
+    model_builder_for,
+    run_dag_with_metrics,
+    training_config_for,
+)
+from repro.experiments.scale import Scale, resolve_scale
+from repro.fl import DagConfig
+
+__all__ = [
+    "run_tip_selection",
+    "run_publish_gate",
+    "run_num_tips",
+    "run_walk_depth",
+]
+
+
+def _run_once(scale: Scale, dag_config: DagConfig, seed: int) -> dict:
+    dataset = build_dataset("fmnist-clustered", scale, seed=seed)
+    builder = model_builder_for("fmnist-clustered", scale, dataset)
+    train_config = training_config_for("fmnist-clustered", scale)
+    outcome = run_dag_with_metrics(
+        dataset,
+        builder,
+        train_config,
+        dag_config,
+        rounds=scale.rounds,
+        clients_per_round=scale.clients_per_round,
+        measure_every=scale.rounds,
+        seed=seed,
+    )
+    simulator = outcome["simulator"]
+    return {
+        "accuracy": outcome["accuracy"],
+        "final_accuracy": outcome["accuracy"][-1],
+        "pureness": outcome["final"]["pureness"],
+        "modularity": outcome["final"]["modularity"],
+        "transactions": len(simulator.tangle) - 1,
+    }
+
+
+def run_tip_selection(scale: Scale | None = None, *, seed: int = 0) -> dict:
+    """Accuracy-biased vs cumulative-weight vs uniform-random selection."""
+    scale = scale or resolve_scale()
+    result = {"experiment": "ablation-tip-selection", "scale": scale.name, "variants": {}}
+    for selector in ("accuracy", "weighted", "random"):
+        result["variants"][selector] = _run_once(
+            scale, DagConfig(alpha=10.0, selector=selector), seed
+        )
+    return result
+
+
+def run_publish_gate(scale: Scale | None = None, *, seed: int = 0) -> dict:
+    """With vs without the publish-only-if-not-worse rule."""
+    scale = scale or resolve_scale()
+    result = {"experiment": "ablation-publish-gate", "scale": scale.name, "variants": {}}
+    for gate in (True, False):
+        result["variants"]["gated" if gate else "ungated"] = _run_once(
+            scale, DagConfig(alpha=10.0, publish_gate=gate), seed
+        )
+    return result
+
+
+def run_num_tips(scale: Scale | None = None, *, seed: int = 0) -> dict:
+    """Number of approved tips per transaction: 1, 2 (paper), 3."""
+    scale = scale or resolve_scale()
+    result = {"experiment": "ablation-num-tips", "scale": scale.name, "variants": {}}
+    for k in (1, 2, 3):
+        result["variants"][str(k)] = _run_once(
+            scale, DagConfig(alpha=10.0, num_tips=k), seed
+        )
+    return result
+
+
+def run_walk_depth(scale: Scale | None = None, *, seed: int = 0) -> dict:
+    """Walk-start depth window: from-tips vs shallow vs the paper's 15-25."""
+    scale = scale or resolve_scale()
+    result = {"experiment": "ablation-walk-depth", "scale": scale.name, "variants": {}}
+    for label, window in (("tips", (0, 0)), ("shallow", (5, 10)), ("paper", (15, 25))):
+        result["variants"][label] = _run_once(
+            scale, DagConfig(alpha=10.0, depth_range=window), seed
+        )
+    return result

@@ -1,0 +1,134 @@
+"""Figures 12-14 — flipped-label poisoning (Section 5.3.4).
+
+Scenario: train cleanly on writer-split FMNIST, then flip labels 3 <-> 8
+for a fraction ``p`` of clients and keep training.  Measured per round of
+the attack phase:
+
+- Fig. 12: fraction of true {3, 8} test samples mispredicted as the other
+  class under each client's selected reference model;
+- Fig. 13: average number of poisoned transactions approved (directly or
+  indirectly) by the reference transactions;
+- Fig. 14: after the run, the distribution of poisoned clients over the
+  Louvain-inferred clusters (p = 0.3 scenario).
+
+Expected shape: p=0.2 stays near the p=0 baseline; p=0.3 is noticeable
+but bounded; the *random* tip selector at p=0.2 flips more predictions
+than the accuracy selector at p=0.3 despite approving fewer poisoned
+transactions — the accuracy walk contains poison inside the attackers'
+own cluster rather than excluding it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import (
+    build_dataset,
+    model_builder_for,
+    training_config_for,
+)
+from repro.experiments.scale import Scale, resolve_scale
+from repro.fl import DagConfig, TangleLearning
+from repro.metrics import build_clients_graph, louvain_communities
+from repro.poisoning import (
+    count_approved_poisoned,
+    network_flipped_prediction_rate,
+    poison_dataset_label_flip,
+    poisoned_cluster_distribution,
+)
+
+__all__ = ["run", "run_scenario", "SCENARIOS"]
+
+CLASS_A, CLASS_B = 3, 8
+
+#: (label, poisoned fraction, tip selector)
+SCENARIOS = (
+    ("p0.0", 0.0, "accuracy"),
+    ("p0.2", 0.2, "accuracy"),
+    ("p0.2-random", 0.2, "random"),
+    ("p0.3", 0.3, "accuracy"),
+)
+
+
+def run_scenario(
+    scale: Scale,
+    *,
+    poisoned_fraction: float,
+    selector: str = "accuracy",
+    seed: int = 0,
+) -> dict:
+    """One poisoning run; returns per-round series and the final partition."""
+    dataset = build_dataset("fmnist-by-writer", scale, seed=seed)
+    builder = model_builder_for("fmnist-by-writer", scale, dataset)
+    train_config = training_config_for("fmnist-by-writer", scale)
+    sim = TangleLearning(
+        dataset,
+        builder,
+        train_config,
+        DagConfig(alpha=10.0, selector=selector),
+        clients_per_round=scale.clients_per_round,
+        seed=seed,
+    )
+    sim.run(scale.poison_clean_rounds)
+
+    poisoned_ds, poisoned_ids = poison_dataset_label_flip(
+        dataset,
+        class_a=CLASS_A,
+        class_b=CLASS_B,
+        poisoned_fraction=poisoned_fraction,
+        seed=seed + 1,
+    )
+    for client_data in poisoned_ds.clients:
+        client = sim.clients[client_data.client_id]
+        client.data = client_data
+        client.reset_cache()
+
+    flipped_series: list[float] = []
+    approved_series: list[float] = []
+    for _ in range(scale.poison_attack_rounds):
+        sim.run_round()
+        reference_weights = {}
+        approved_counts = []
+        for client_id in sorted(sim.clients):
+            tip = sim.reference_tip(client_id)
+            reference_weights[client_id] = sim.tangle.get(tip).model_weights
+            approved_counts.append(
+                count_approved_poisoned(sim.tangle, tip, poisoned_ids)
+            )
+        flipped_series.append(
+            network_flipped_prediction_rate(
+                sim.model,
+                reference_weights,
+                {cid: c.data for cid, c in sim.clients.items()},
+                class_a=CLASS_A,
+                class_b=CLASS_B,
+            )
+        )
+        approved_series.append(float(np.mean(approved_counts)))
+
+    graph = build_clients_graph(sim.tangle, include_clients=sorted(sim.clients))
+    partition = louvain_communities(graph, seed=seed)
+    return {
+        "poisoned_fraction": poisoned_fraction,
+        "selector": selector,
+        "poisoned_clients": sorted(poisoned_ids),
+        "flipped_rate": flipped_series,
+        "approved_poisoned": approved_series,
+        "cluster_distribution": poisoned_cluster_distribution(
+            partition, poisoned_ids
+        ),
+    }
+
+
+def run(scale: Scale | None = None, *, seed: int = 0, scenarios=SCENARIOS) -> dict:
+    scale = scale or resolve_scale()
+    result: dict = {
+        "experiment": "fig12_13_14",
+        "scale": scale.name,
+        "scenarios": {},
+    }
+    for label, fraction, selector in scenarios:
+        result["scenarios"][label] = run_scenario(
+            scale, poisoned_fraction=fraction, selector=selector, seed=seed
+        )
+    return result

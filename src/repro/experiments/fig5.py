@@ -1,0 +1,51 @@
+"""Figure 5 — choosing alpha: modularity, #partitions, misclassification.
+
+The paper sweeps alpha over {1, 10, 100} on FMNIST-clustered and tracks
+the three ``G_clients`` metrics per round.  Expected shape: alpha=10
+balances best (rising modularity, ~3 partitions, misclassification -> 0);
+alpha=1 degrades modularity and misclassifies heavily; alpha=100 keeps
+modularity high but fragments into too many partitions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    build_dataset,
+    model_builder_for,
+    run_dag_with_metrics,
+    training_config_for,
+)
+from repro.experiments.scale import Scale, resolve_scale
+from repro.fl import DagConfig
+
+__all__ = ["run", "ALPHAS"]
+
+ALPHAS = (1.0, 10.0, 100.0)
+
+
+def run(scale: Scale | None = None, *, seed: int = 0, alphas=ALPHAS) -> dict:
+    scale = scale or resolve_scale()
+    dataset = build_dataset("fmnist-clustered", scale, seed=seed)
+    builder = model_builder_for("fmnist-clustered", scale, dataset)
+    train_config = training_config_for("fmnist-clustered", scale)
+
+    result: dict = {"experiment": "fig5", "scale": scale.name, "alphas": {}}
+    for alpha in alphas:
+        outcome = run_dag_with_metrics(
+            dataset,
+            builder,
+            train_config,
+            DagConfig(alpha=alpha),
+            rounds=scale.rounds,
+            clients_per_round=scale.clients_per_round,
+            measure_every=scale.measure_every,
+            seed=seed,
+        )
+        result["alphas"][str(alpha)] = {
+            "metric_rounds": outcome["metric_rounds"],
+            "modularity": outcome["modularity"],
+            "num_partitions": outcome["num_partitions"],
+            "misclassification": outcome["misclassification"],
+            "final": outcome["final"],
+        }
+    return result

@@ -1,0 +1,50 @@
+"""Result persistence: JSON (full result) and CSV (flat series)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+__all__ = ["save_result", "write_series_csv"]
+
+
+def save_result(result: dict, path: str | Path) -> Path:
+    """Write an experiment result dict as pretty JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True, default=_coerce)
+    return path
+
+
+def write_series_csv(
+    series: dict[str, list], path: str | Path, *, index_name: str = "round"
+) -> Path:
+    """Write equal-length named series as CSV columns with an index.
+
+    ``series`` maps column name -> list of values; all lists must have the
+    same length.
+    """
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) > 1:
+        raise ValueError(f"series lengths differ: { {k: len(v) for k, v in series.items()} }")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = sorted(series)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([index_name, *names])
+        length = lengths.pop() if lengths else 0
+        for i in range(length):
+            writer.writerow([i, *(series[name][i] for name in names)])
+    return path
+
+
+def _coerce(value):
+    """JSON fallback for numpy scalars and sets."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, set):
+        return sorted(value)
+    raise TypeError(f"not JSON serializable: {type(value)}")

@@ -1,0 +1,103 @@
+"""Multi-seed experiment aggregation.
+
+Single-seed results of a stochastic protocol are anecdotes; this module
+re-runs an experiment across seeds and aggregates every numeric leaf of
+the result tree into ``{mean, std, min, max, values}``.  Numeric *series*
+(lists of numbers) are aggregated element-wise into mean/std series, so
+downstream plotting gets shaded-band data for free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments.registry import get_experiment
+from repro.experiments.scale import Scale, resolve_scale
+
+__all__ = ["run_multiseed", "aggregate_results"]
+
+
+def run_multiseed(
+    experiment_id: str,
+    *,
+    seeds: list[int] | int = 3,
+    scale: Scale | None = None,
+) -> dict:
+    """Run a registered experiment for several seeds and aggregate.
+
+    ``seeds`` is either an explicit list or a count (0..n-1).
+    """
+    scale = scale or resolve_scale()
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError("need at least one seed")
+        seed_list = list(range(seeds))
+    else:
+        seed_list = list(seeds)
+        if not seed_list:
+            raise ValueError("need at least one seed")
+    runner = get_experiment(experiment_id)
+    results = []
+    for seed in seed_list:
+        result = runner(scale, seed=seed)
+        result.pop("simulator", None)
+        results.append(result)
+    aggregated = aggregate_results(results)
+    aggregated["experiment"] = experiment_id
+    aggregated["scale"] = scale.name
+    aggregated["seeds"] = seed_list
+    return aggregated
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_numeric_list(value) -> bool:
+    return (
+        isinstance(value, list) and bool(value) and all(_is_number(v) for v in value)
+    )
+
+
+def aggregate_results(results: list[dict]) -> dict:
+    """Merge structurally identical result dicts across seeds.
+
+    Numeric leaves become ``{mean, std, min, max, values}``; numeric
+    series become ``{mean: [...], std: [...]}`` (element-wise, truncated
+    to the shortest run); non-numeric leaves are kept from the first
+    result when identical everywhere, else collected under ``values``.
+    """
+    if not results:
+        raise ValueError("no results to aggregate")
+    first = results[0]
+    if any(set(r.keys()) != set(first.keys()) for r in results[1:]):
+        raise ValueError("results have differing structure")
+
+    merged: dict = {}
+    for key in first:
+        values = [r[key] for r in results]
+        if all(isinstance(v, dict) for v in values):
+            merged[key] = aggregate_results(values)
+        elif all(_is_number(v) for v in values):
+            arr = np.asarray(values, dtype=np.float64)
+            merged[key] = {
+                "mean": float(np.nanmean(arr)),
+                "std": float(np.nanstd(arr)),
+                "min": float(np.nanmin(arr)),
+                "max": float(np.nanmax(arr)),
+                "values": [float(v) for v in arr],
+            }
+        elif all(_is_numeric_list(v) for v in values):
+            length = min(len(v) for v in values)
+            arr = np.asarray([v[:length] for v in values], dtype=np.float64)
+            merged[key] = {
+                "mean": [float(x) for x in np.nanmean(arr, axis=0)],
+                "std": [float(x) for x in np.nanstd(arr, axis=0)],
+            }
+        elif all(v == values[0] for v in values[1:]) or len(values) == 1:
+            merged[key] = values[0]
+        else:
+            merged[key] = {"values": values}
+    return merged

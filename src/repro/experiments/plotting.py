@@ -1,0 +1,146 @@
+"""Dependency-free SVG line charts for experiment results.
+
+matplotlib is not available in the reproduction environment, so this
+module renders the per-round series the experiments emit as standalone
+SVG files — enough to eyeball every figure of the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["line_chart", "save_line_chart"]
+
+_PALETTE = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+]
+
+
+def _ticks(low: float, high: float, count: int = 5) -> list[float]:
+    if high <= low:
+        high = low + 1.0
+    step = (high - low) / (count - 1)
+    return [low + i * step for i in range(count)]
+
+
+def line_chart(
+    series: dict[str, list[float]],
+    *,
+    title: str = "",
+    x_label: str = "round",
+    y_label: str = "value",
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Render named series as an SVG string.
+
+    All series share the x-axis 0..len-1; y-limits are fitted to the
+    data.  NaNs break the polyline (gaps), matching how the experiments
+    report missing rounds.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    margin_left, margin_right, margin_top, margin_bottom = 60, 20, 40, 45
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    finite = [
+        v
+        for values in series.values()
+        for v in values
+        if isinstance(v, (int, float)) and v == v
+    ]
+    if not finite:
+        raise ValueError("series contain no finite values")
+    y_min, y_max = min(finite), max(finite)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+    x_max = max(len(v) for v in series.values()) - 1
+    x_max = max(x_max, 1)
+
+    def sx(x: float) -> float:
+        return margin_left + plot_w * x / x_max
+
+    def sy(y: float) -> float:
+        return margin_top + plot_h * (1.0 - (y - y_min) / (y_max - y_min))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14">{title}</text>',
+    ]
+    # Axes and grid.
+    for tick in _ticks(y_min + pad, y_max - pad):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" x2="{width - margin_right}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{tick:.2f}</text>'
+        )
+    for tick in _ticks(0, x_max):
+        x = sx(tick)
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - margin_bottom + 16}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="10">{tick:.0f}</text>'
+        )
+    parts.append(
+        f'<rect x="{margin_left}" y="{margin_top}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333333"/>'
+    )
+    parts.append(
+        f'<text x="{width / 2}" y="{height - 8}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="12">{x_label}</text>'
+    )
+    parts.append(
+        f'<text x="14" y="{height / 2}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="12" '
+        f'transform="rotate(-90 14 {height / 2})">{y_label}</text>'
+    )
+
+    # Series.
+    for index, (name, values) in enumerate(sorted(series.items())):
+        color = _PALETTE[index % len(_PALETTE)]
+        segments: list[list[str]] = [[]]
+        for x, y in enumerate(values):
+            if not isinstance(y, (int, float)) or y != y:  # NaN breaks line
+                if segments[-1]:
+                    segments.append([])
+                continue
+            segments[-1].append(f"{sx(x):.1f},{sy(y):.1f}")
+        for segment in segments:
+            if len(segment) >= 2:
+                parts.append(
+                    f'<polyline points="{" ".join(segment)}" fill="none" '
+                    f'stroke="{color}" stroke-width="1.8"/>'
+                )
+        legend_y = margin_top + 14 * index + 8
+        parts.append(
+            f'<rect x="{width - margin_right - 130}" y="{legend_y - 8}" '
+            f'width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{width - margin_right - 116}" y="{legend_y + 1}" '
+            f'font-family="sans-serif" font-size="10">{name}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_line_chart(
+    series: dict[str, list[float]], path: str | Path, **kwargs
+) -> Path:
+    """Write an SVG chart to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(line_chart(series, **kwargs))
+    return path

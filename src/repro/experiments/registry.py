@@ -1,0 +1,54 @@
+"""Registry mapping experiment ids to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    comparison_gossip,
+    extensions,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10_11,
+    fig12_13_14,
+    fig15,
+    table2,
+)
+
+__all__ = ["EXPERIMENTS", "get_experiment"]
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table2": table2.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10_11": fig10_11.run,
+    "fig12_13_14": fig12_13_14.run,
+    "fig15": fig15.run,
+    "ablation-tip-selection": ablations.run_tip_selection,
+    "ablation-publish-gate": ablations.run_publish_gate,
+    "ablation-num-tips": ablations.run_num_tips,
+    "ablation-walk-depth": ablations.run_walk_depth,
+    "ablation-personalization": extensions.run_personalization,
+    "ablation-visibility-delay": extensions.run_visibility_delay,
+    "attack-random-weights": extensions.run_random_weight_attack,
+    "async-convergence": extensions.run_async_convergence,
+    "ablation-aggregation": extensions.run_aggregation_robustness,
+    "comparison-gossip": comparison_gossip.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """Look up an experiment runner by id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None

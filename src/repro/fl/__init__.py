@@ -1,0 +1,48 @@
+"""Federated-learning algorithms.
+
+:class:`TangleLearning` is the paper's contribution (the specializing
+DAG); :class:`FedAvgServer` and :class:`FedProxServer` are the centralized
+baselines of Section 5; :class:`GossipLearning` is the decentralized
+gossip baseline discussed in related work.
+"""
+
+from repro.fl.config import (
+    DagConfig,
+    TrainingConfig,
+    TABLE1_CONFIGS,
+    table1_config,
+)
+from repro.fl.client import Client
+from repro.fl.records import RoundRecord
+from repro.fl.dag_learning import TangleLearning
+from repro.fl.async_learning import AsyncTangleLearning, PublishEvent
+from repro.fl.fedavg import FedAvgServer
+from repro.fl.fedprox import FedProxServer
+from repro.fl.gossip import GossipLearning
+from repro.fl.aggregation import (
+    AGGREGATORS,
+    get_aggregator,
+    mean_aggregate,
+    median_aggregate,
+    trimmed_mean_aggregate,
+)
+
+__all__ = [
+    "DagConfig",
+    "TrainingConfig",
+    "TABLE1_CONFIGS",
+    "table1_config",
+    "Client",
+    "RoundRecord",
+    "TangleLearning",
+    "AsyncTangleLearning",
+    "PublishEvent",
+    "FedAvgServer",
+    "FedProxServer",
+    "GossipLearning",
+    "AGGREGATORS",
+    "get_aggregator",
+    "mean_aggregate",
+    "median_aggregate",
+    "trimmed_mean_aggregate",
+]

@@ -1,0 +1,100 @@
+"""Model-aggregation strategies.
+
+The paper merges parent models by plain parameter-wise averaging.  This
+module generalizes the merge into pluggable strategies, including the
+robust aggregators common in the poisoning literature (coordinate-wise
+median and trimmed mean), which make interesting counterpoints to the
+DAG's walk-level robustness: the walk filters *whole models* by accuracy,
+robust aggregation filters *coordinates* by outlier position.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.serialization import Weights, average_weights, weighted_average_weights
+
+__all__ = [
+    "mean_aggregate",
+    "median_aggregate",
+    "trimmed_mean_aggregate",
+    "get_aggregator",
+    "AGGREGATORS",
+]
+
+Aggregator = Callable[[list[Weights]], Weights]
+
+
+def mean_aggregate(weight_sets: list[Weights]) -> Weights:
+    """Parameter-wise arithmetic mean (the paper's merge)."""
+    return average_weights(weight_sets)
+
+
+def median_aggregate(weight_sets: list[Weights]) -> Weights:
+    """Coordinate-wise median across the weight sets.
+
+    Robust to a minority of arbitrarily corrupted inputs; for two inputs
+    it degenerates to the mean.
+    """
+    if not weight_sets:
+        raise ValueError("need at least one weight set")
+    _check_same_shapes(weight_sets)
+    return [
+        np.median(np.stack([ws[i] for ws in weight_sets]), axis=0)
+        for i in range(len(weight_sets[0]))
+    ]
+
+
+def trimmed_mean_aggregate(
+    weight_sets: list[Weights], *, trim_fraction: float = 0.2
+) -> Weights:
+    """Coordinate-wise mean after trimming the extremes.
+
+    Drops the ``floor(k * trim_fraction)`` largest and smallest values per
+    coordinate before averaging.  With fewer than three inputs nothing
+    can be trimmed and the result equals the mean.
+    """
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
+    if not weight_sets:
+        raise ValueError("need at least one weight set")
+    _check_same_shapes(weight_sets)
+    k = len(weight_sets)
+    trim = int(np.floor(k * trim_fraction))
+    if 2 * trim >= k:
+        trim = (k - 1) // 2
+    result: Weights = []
+    for i in range(len(weight_sets[0])):
+        stacked = np.sort(np.stack([ws[i] for ws in weight_sets]), axis=0)
+        kept = stacked[trim : k - trim] if trim else stacked
+        result.append(kept.mean(axis=0))
+    return result
+
+
+def _check_same_shapes(weight_sets: list[Weights]) -> None:
+    first = weight_sets[0]
+    for other in weight_sets[1:]:
+        if len(other) != len(first):
+            raise ValueError("weight sets have different lengths")
+        for a, b in zip(first, other):
+            if a.shape != b.shape:
+                raise ValueError(f"weight shapes differ: {a.shape} vs {b.shape}")
+
+
+AGGREGATORS: dict[str, Aggregator] = {
+    "mean": mean_aggregate,
+    "median": median_aggregate,
+    "trimmed_mean": trimmed_mean_aggregate,
+}
+
+
+def get_aggregator(name: str) -> Aggregator:
+    """Look up an aggregation strategy by name."""
+    try:
+        return AGGREGATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregator {name!r}; available: {sorted(AGGREGATORS)}"
+        ) from None

@@ -1,0 +1,292 @@
+"""Asynchronous (continuous-time, event-driven) DAG learning.
+
+The paper's protocol is inherently asynchronous — "each client
+continuously runs the training process as often as its resources permit,
+independent from all other clients"; rounds exist only to compare against
+centralized baselines.  This module simulates that deployment model
+directly:
+
+- every client alternates *think time* (exponentially distributed idle
+  periods) and *training cycles* (lognormally distributed durations);
+- a training cycle snapshots the tangle as visible at its **start** (the
+  client works on stale state while training);
+- published transactions become visible to each other client only after
+  a per-transaction network propagation delay.
+
+Events are processed from a priority queue, so arbitrarily interleaved
+client activity — the thing discrete rounds cannot express — emerges
+naturally: two clients training simultaneously both extend the same tips,
+creating the DAG width the protocol is designed to reconcile.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.dag.tangle import Tangle
+from repro.dag.tip_selection import (
+    AccuracyTipSelector,
+    RandomTipSelector,
+    WeightedTipSelector,
+)
+from repro.dag.transaction import Transaction
+from repro.data.base import FederatedDataset
+from repro.fl.aggregation import get_aggregator
+from repro.fl.client import Client
+from repro.fl.config import DagConfig, TrainingConfig
+from repro.nn.model import Classifier
+from repro.utils.rng import RngFactory
+
+__all__ = ["AsyncTangleLearning", "PublishEvent", "TimedTangleView"]
+
+ModelBuilder = Callable[[np.random.Generator], Classifier]
+
+
+class TimedTangleView:
+    """Tangle view filtered by per-transaction visibility times."""
+
+    def __init__(self, tangle: Tangle, visible_from: dict[str, float], now: float):
+        self._tangle = tangle
+        self._visible_from = visible_from
+        self.now = now
+
+    def _visible(self, tx_id: str) -> bool:
+        return self._visible_from.get(tx_id, float("inf")) <= self.now
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._tangle and self._visible(tx_id)
+
+    def get(self, tx_id: str) -> Transaction:
+        if not self._visible(tx_id):
+            raise KeyError(f"transaction {tx_id!r} not visible at t={self.now}")
+        return self._tangle.get(tx_id)
+
+    def transactions(self) -> list[Transaction]:
+        return [
+            tx for tx in self._tangle.transactions() if self._visible(tx.tx_id)
+        ]
+
+    def approvers(self, tx_id: str) -> list[str]:
+        self.get(tx_id)
+        return [a for a in self._tangle.approvers(tx_id) if self._visible(a)]
+
+    def tips(self) -> list[str]:
+        return sorted(
+            tx.tx_id
+            for tx in self.transactions()
+            if not self.approvers(tx.tx_id)
+        )
+
+    def is_tip(self, tx_id: str) -> bool:
+        return tx_id in self and not self.approvers(tx_id)
+
+    def cumulative_weight(self, tx_id: str) -> int:
+        from collections import deque
+
+        self.get(tx_id)
+        seen: set[str] = set()
+        queue = deque(self.approvers(tx_id))
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.approvers(current))
+        return 1 + len(seen)
+
+
+@dataclass(frozen=True)
+class PublishEvent:
+    """One completed training cycle."""
+
+    time: float
+    client_id: int
+    published: bool
+    accuracy: float
+    reference_accuracy: float
+    tx_id: str | None
+
+
+@dataclass(order=True)
+class _ScheduledCycle:
+    finish_time: float
+    seq: int
+    client_id: int = field(compare=False)
+    start_time: float = field(compare=False)
+
+
+class AsyncTangleLearning:
+    """Event-driven simulator of the specializing DAG.
+
+    Parameters beyond the round-based simulator: ``mean_think_time``
+    (exponential idle between cycles), ``mean_train_time`` /
+    ``train_time_sigma`` (lognormal cycle duration), and
+    ``mean_propagation_delay`` (exponential per-transaction network
+    delay).  All times are in abstract simulation units.
+    """
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        model_builder: ModelBuilder,
+        train_config: TrainingConfig,
+        dag_config: DagConfig = DagConfig(),
+        *,
+        seed: int = 0,
+        mean_think_time: float = 1.0,
+        mean_train_time: float = 1.0,
+        train_time_sigma: float = 0.3,
+        mean_propagation_delay: float = 0.1,
+    ):
+        if min(mean_think_time, mean_train_time) <= 0:
+            raise ValueError("think and train times must be positive")
+        if mean_propagation_delay < 0:
+            raise ValueError("propagation delay must be >= 0")
+        self.dataset = dataset
+        self.dag_config = dag_config
+        self._rngs = RngFactory(seed)
+        self.model = model_builder(self._rngs.get("model-init"))
+        genesis_weights = self.model.get_weights()
+        self.tangle = Tangle(genesis_weights)
+        self.clients: dict[int, Client] = {
+            cd.client_id: Client(
+                cd, self.model, train_config, self._rngs.get("client", cd.client_id)
+            )
+            for cd in dataset.clients
+        }
+        if dag_config.personal_params > 0:
+            for client in self.clients.values():
+                client.enable_personalization(
+                    dag_config.personal_params, genesis_weights
+                )
+        self._aggregate = get_aggregator(dag_config.aggregator)
+        self.mean_think_time = mean_think_time
+        self.mean_train_time = mean_train_time
+        self.train_time_sigma = train_time_sigma
+        self.mean_propagation_delay = mean_propagation_delay
+
+        self._time_rng = self._rngs.get("times")
+        self._queue: list[_ScheduledCycle] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events: list[PublishEvent] = []
+        # Genesis is visible to everyone from the start.
+        self._visible_from: dict[str, float] = {self.tangle.genesis.tx_id: 0.0}
+        for client_id in sorted(self.clients):
+            self._schedule_cycle(client_id, self._think_delay())
+
+    # ----------------------------------------------------------- scheduling
+    def _think_delay(self) -> float:
+        return float(self._time_rng.exponential(self.mean_think_time))
+
+    def _train_duration(self) -> float:
+        return float(
+            self.mean_train_time
+            * self._time_rng.lognormal(0.0, self.train_time_sigma)
+        )
+
+    def _schedule_cycle(self, client_id: int, start_delay: float) -> None:
+        start = self.now + start_delay
+        finish = start + self._train_duration()
+        heapq.heappush(
+            self._queue,
+            _ScheduledCycle(finish, next(self._seq), client_id, start),
+        )
+
+    # ------------------------------------------------------------- stepping
+    def step(self) -> PublishEvent:
+        """Process the next completed training cycle."""
+        if not self._queue:
+            raise RuntimeError("no scheduled events")
+        cycle = heapq.heappop(self._queue)
+        self.now = cycle.finish_time
+        client = self.clients[cycle.client_id]
+        cfg = self.dag_config
+
+        # The client worked on the tangle as it saw it when it STARTED.
+        view = TimedTangleView(self.tangle, self._visible_from, cycle.start_time)
+        walk_rng = self._rngs.get("walk", cycle.seq)
+        selector = self._make_selector(client)
+        tips = selector.select_tips(view, cfg.num_tips, walk_rng)
+
+        parent_models = [self.tangle.get(t).model_weights for t in tips]
+        reference = client.apply_personalization(self._aggregate(parent_models))
+        _, reference_accuracy = client.evaluate_weights(reference)
+        trained, _loss = client.train(reference)
+        client.update_personal_tail(trained)
+        _, accuracy = client.evaluate_weights(trained)
+
+        tx_id = None
+        published = (not cfg.publish_gate) or accuracy >= reference_accuracy
+        if published:
+            tx = Transaction(
+                tx_id=self.tangle.next_tx_id(cycle.client_id),
+                parents=tuple(dict.fromkeys(tips)),
+                model_weights=trained,
+                issuer=cycle.client_id,
+                round_index=int(self.now),  # coarse time bucket for analysis
+                tags=dict(client.data.metadata.get("tags", {})),
+            )
+            self.tangle.add(tx)
+            tx_id = tx.tx_id
+            delay = (
+                float(self._time_rng.exponential(self.mean_propagation_delay))
+                if self.mean_propagation_delay > 0
+                else 0.0
+            )
+            self._visible_from[tx.tx_id] = self.now + delay
+
+        event = PublishEvent(
+            time=self.now,
+            client_id=cycle.client_id,
+            published=published,
+            accuracy=accuracy,
+            reference_accuracy=reference_accuracy,
+            tx_id=tx_id,
+        )
+        self.events.append(event)
+        self._schedule_cycle(cycle.client_id, self._think_delay())
+        return event
+
+    def run_until(self, end_time: float) -> list[PublishEvent]:
+        """Process events until simulated time exceeds ``end_time``."""
+        processed: list[PublishEvent] = []
+        while self._queue and self._queue[0].finish_time <= end_time:
+            processed.append(self.step())
+        self.now = max(self.now, end_time)
+        return processed
+
+    def run_cycles(self, count: int) -> list[PublishEvent]:
+        """Process exactly ``count`` training cycles."""
+        return [self.step() for _ in range(count)]
+
+    # -------------------------------------------------------------- queries
+    def _make_selector(self, client: Client):
+        cfg = self.dag_config
+        if cfg.selector == "random":
+            return RandomTipSelector()
+        if cfg.selector == "weighted":
+            return WeightedTipSelector(cfg.weighted_alpha, depth_range=cfg.depth_range)
+        return AccuracyTipSelector(
+            lambda tx_id: client.tx_accuracy(self.tangle, tx_id),
+            alpha=cfg.alpha,
+            normalization=cfg.normalization,
+            depth_range=cfg.depth_range,
+        )
+
+    def accuracy_timeline(self, bucket: float = 1.0) -> list[tuple[float, float]]:
+        """Mean published-model accuracy per time bucket."""
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        buckets: dict[int, list[float]] = {}
+        for event in self.events:
+            buckets.setdefault(int(event.time // bucket), []).append(event.accuracy)
+        return [
+            (index * bucket, float(np.mean(values)))
+            for index, values in sorted(buckets.items())
+        ]

@@ -1,0 +1,149 @@
+"""A federated client: local data, local training, cached evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.base import ClientData
+from repro.dag.tangle import Tangle
+from repro.nn.model import Classifier
+from repro.nn.optimizers import SGD, ProximalSGD
+from repro.nn.serialization import Weights, clone_weights
+from repro.fl.config import TrainingConfig
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Client"]
+
+
+class Client:
+    """One participant in the federation.
+
+    All clients of a simulation *share* a single :class:`Classifier`
+    instance; a client loads whatever weights it needs before running a
+    forward pass.  Transaction evaluations (the hot path of the
+    accuracy-biased walk) are cached per transaction id — a transaction's
+    model never changes, so the cache is sound for the lifetime of a
+    tangle.
+    """
+
+    def __init__(
+        self,
+        data: ClientData,
+        model: Classifier,
+        config: TrainingConfig,
+        rng: np.random.Generator | int,
+    ):
+        self.data = data
+        self.model = model
+        self.config = config
+        self.rng = ensure_rng(rng)
+        self._tx_accuracy_cache: dict[str, float] = {}
+        self.evaluations = 0  # lifetime count of *uncached* model evaluations
+        self.personal_params = 0
+        self.personal_tail: list[np.ndarray] | None = None
+
+    @property
+    def client_id(self) -> int:
+        return self.data.client_id
+
+    # ----------------------------------------------------- personalization
+    def enable_personalization(self, count: int, initial: Weights) -> None:
+        """Keep the last ``count`` parameter arrays client-local.
+
+        ``initial`` supplies the starting values (typically the genesis
+        weights).  From then on, every model this client consumes — in
+        walks, references, and evaluations — has its tail replaced by the
+        client's own personal layers (the paper's future-work extension).
+        """
+        if count <= 0:
+            raise ValueError("count must be > 0")
+        if count > len(initial):
+            raise ValueError(
+                f"cannot personalize {count} of {len(initial)} arrays"
+            )
+        self.personal_params = count
+        self.personal_tail = [np.array(w, copy=True) for w in initial[-count:]]
+
+    def apply_personalization(self, weights: Weights) -> Weights:
+        """Graft this client's personal tail onto ``weights`` (copied)."""
+        if not self.personal_params or self.personal_tail is None:
+            return weights
+        return [
+            *[w for w in weights[: -self.personal_params]],
+            *[np.array(w, copy=True) for w in self.personal_tail],
+        ]
+
+    def update_personal_tail(self, weights: Weights) -> None:
+        """Adopt the tail of freshly trained ``weights`` as the new
+        personal layers; invalidates cached evaluations (they embedded the
+        previous tail)."""
+        if not self.personal_params:
+            return
+        self.personal_tail = [
+            np.array(w, copy=True) for w in weights[-self.personal_params :]
+        ]
+        self.reset_cache()
+
+    # ---------------------------------------------------------- evaluation
+    def evaluate_weights(self, weights: Weights) -> tuple[float, float]:
+        """(loss, accuracy) of ``weights`` on this client's local test data."""
+        self.model.set_weights(weights)
+        self.evaluations += 1
+        return self.model.evaluate(self.data.x_test, self.data.y_test)
+
+    def accuracy_of_weights(self, weights: Weights) -> float:
+        return self.evaluate_weights(weights)[1]
+
+    def tx_accuracy(self, tangle: Tangle, tx_id: str) -> float:
+        """Cached accuracy of a transaction's model on local test data.
+
+        With personalization enabled, the transaction's model is evaluated
+        with this client's personal tail grafted on — the client judges
+        foreign bodies by how well they serve *its* head.
+        """
+        cached = self._tx_accuracy_cache.get(tx_id)
+        if cached is not None:
+            return cached
+        weights = self.apply_personalization(tangle.get(tx_id).model_weights)
+        accuracy = self.accuracy_of_weights(weights)
+        self._tx_accuracy_cache[tx_id] = accuracy
+        return accuracy
+
+    def reset_cache(self) -> None:
+        """Drop cached transaction evaluations (e.g. when data changes)."""
+        self._tx_accuracy_cache.clear()
+
+    # ------------------------------------------------------------ training
+    def train(
+        self,
+        weights: Weights,
+        *,
+        proximal_mu: float | None = None,
+        epochs_override: int | None = None,
+    ) -> tuple[Weights, float]:
+        """Local training starting from ``weights``.
+
+        Returns the trained weights and the mean training loss.  With
+        ``proximal_mu`` set, uses the FedProx proximal objective anchored
+        at the incoming weights.
+        """
+        self.model.set_weights(weights)
+        config = self.config
+        if proximal_mu is not None:
+            optimizer: SGD = ProximalSGD(
+                config.learning_rate, proximal_mu, momentum=config.momentum
+            )
+            optimizer.set_reference(weights)
+        else:
+            optimizer = SGD(config.learning_rate, momentum=config.momentum)
+        epochs = epochs_override if epochs_override is not None else config.local_epochs
+        loss = self.model.train_local(
+            self.data.x_train,
+            self.data.y_train,
+            optimizer,
+            self.rng,
+            epochs=epochs,
+            batch_size=config.batch_size,
+            max_batches=config.local_batches,
+        )
+        return clone_weights(self.model.get_weights()), loss

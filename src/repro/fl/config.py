@@ -1,0 +1,132 @@
+"""Training and DAG-protocol configuration.
+
+``TABLE1_CONFIGS`` encodes the paper's Table 1 hyperparameters verbatim;
+the experiment profiles scale them down for fast simulation without
+changing their relative structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_positive
+
+__all__ = ["TrainingConfig", "DagConfig", "TABLE1_CONFIGS", "table1_config"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Local-training hyperparameters (one federated round on one client).
+
+    ``local_batches`` caps batches per epoch: the paper fixes it "in order
+    to equalize the number of batches used for training per client in case
+    of an uneven distribution".
+    """
+
+    local_epochs: int = 1
+    local_batches: int | None = 10
+    batch_size: int = 10
+    learning_rate: float = 0.05
+    momentum: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("local_epochs", self.local_epochs)
+        check_positive("batch_size", self.batch_size)
+        check_positive("learning_rate", self.learning_rate)
+        if self.local_batches is not None:
+            check_positive("local_batches", self.local_batches)
+
+    def scaled(self, **overrides) -> "TrainingConfig":
+        """A copy with some fields replaced (for scaled-down profiles)."""
+        return replace(self, **overrides)
+
+
+#: Table 1 of the paper: fixed training hyperparameters per dataset.
+TABLE1_CONFIGS: dict[str, TrainingConfig] = {
+    "fmnist-clustered": TrainingConfig(
+        local_epochs=1, local_batches=10, batch_size=10, learning_rate=0.05
+    ),
+    "poets": TrainingConfig(
+        local_epochs=1, local_batches=35, batch_size=10, learning_rate=0.8
+    ),
+    "cifar100": TrainingConfig(
+        local_epochs=5, local_batches=45, batch_size=10, learning_rate=0.01
+    ),
+}
+
+
+def table1_config(dataset_name: str) -> TrainingConfig:
+    """Look up the Table 1 configuration for a dataset family.
+
+    Accepts the exact key or any name starting with it (so
+    ``"fmnist-clustered-relaxed"`` resolves to the FMNIST row).
+    """
+    for key, config in TABLE1_CONFIGS.items():
+        if dataset_name == key or dataset_name.startswith(key):
+            return config
+    raise KeyError(
+        f"no Table 1 configuration for {dataset_name!r}; "
+        f"known: {sorted(TABLE1_CONFIGS)}"
+    )
+
+
+@dataclass(frozen=True)
+class DagConfig:
+    """Protocol parameters of the specializing DAG.
+
+    ``alpha`` is the specialization parameter of Section 4.2;
+    ``normalization`` selects Eq. 1-2 (``"standard"``) or Eq. 3
+    (``"dynamic"``); ``selector`` can downgrade the walk to the uniform
+    random or cumulative-weight baselines; ``publish_gate`` is the rule
+    that a model is only published when training did not make it worse
+    than the reference (consensus) model on local test data.
+
+    Extensions beyond the paper's evaluation:
+
+    - ``personal_params`` implements the paper's stated future work
+      ("training only some layers of the machine learning model"): the
+      last N parameter arrays (e.g. 2 = final dense kernel + bias) are
+      kept client-local — each client grafts its own head onto every
+      model it consumes from the DAG, giving hard parameter sharing of
+      the body with personal output layers.
+    - ``visibility_delay`` models network propagation: clients selecting
+      tips in round r only see transactions published up to round
+      ``r - 1 - visibility_delay``.
+    - ``aggregator`` selects the parent-model merge: ``"mean"`` (the
+      paper), ``"median"``, or ``"trimmed_mean"`` (robust variants that
+      pair with ``num_tips > 2``).
+    """
+
+    alpha: float = 10.0
+    normalization: str = "standard"
+    selector: str = "accuracy"
+    num_tips: int = 2
+    depth_range: tuple[int, int] = (15, 25)
+    publish_gate: bool = True
+    weighted_alpha: float = 0.5
+    personal_params: int = 0
+    visibility_delay: int = 0
+    aggregator: str = "mean"
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        if self.normalization not in ("standard", "dynamic"):
+            raise ValueError(f"unknown normalization {self.normalization!r}")
+        if self.selector not in ("accuracy", "random", "weighted"):
+            raise ValueError(f"unknown selector {self.selector!r}")
+        check_positive("num_tips", self.num_tips)
+        low, high = self.depth_range
+        if low < 0 or high < low:
+            raise ValueError(f"invalid depth_range {self.depth_range}")
+        if self.personal_params < 0:
+            raise ValueError("personal_params must be >= 0")
+        if self.visibility_delay < 0:
+            raise ValueError("visibility_delay must be >= 0")
+        from repro.fl.aggregation import AGGREGATORS
+
+        if self.aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"unknown aggregator {self.aggregator!r}; "
+                f"available: {sorted(AGGREGATORS)}"
+            )

@@ -1,0 +1,231 @@
+"""The specializing-DAG learning simulator (the paper's Section 4).
+
+Discrete-round simulation: in every round a sample of clients each (1)
+runs the biased random walk twice to select two tips, (2) averages the two
+tip models, (3) trains the average on local data, and (4) publishes the
+result as a new transaction approving the two tips — if it beats the
+reference (consensus) model on local test data.  New transactions become
+visible to others only at the end of the round, which models concurrent
+publication.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.dag.tangle import Tangle
+from repro.dag.tip_selection import (
+    AccuracyTipSelector,
+    RandomTipSelector,
+    TipSelector,
+    WeightedTipSelector,
+)
+from repro.dag.transaction import Transaction
+from repro.dag.view import TangleView
+from repro.data.base import FederatedDataset
+from repro.fl.aggregation import get_aggregator
+from repro.fl.client import Client
+from repro.fl.config import DagConfig, TrainingConfig
+from repro.fl.records import RoundRecord
+from repro.nn.model import Classifier
+from repro.utils.rng import RngFactory
+from repro.utils.timing import Stopwatch
+
+__all__ = ["TangleLearning"]
+
+ModelBuilder = Callable[[np.random.Generator], Classifier]
+
+
+class TangleLearning:
+    """End-to-end simulator for DAG-based decentralized federated learning."""
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        model_builder: ModelBuilder,
+        train_config: TrainingConfig,
+        dag_config: DagConfig = DagConfig(),
+        *,
+        clients_per_round: int = 10,
+        seed: int = 0,
+        attackers: dict[int, str] | None = None,
+    ):
+        """``attackers`` maps client id -> attack type.  Supported:
+        ``"random_weights"`` — the client publishes randomly drawn weights
+        instead of training (the first attack of the Section 4.4 threat
+        model).  Attackers approve uniformly random tips: as the paper
+        argues, an attacker targeting the whole network would not use the
+        accuracy-aware selection."""
+        self.dataset = dataset
+        self.dag_config = dag_config
+        self.clients_per_round = min(clients_per_round, dataset.num_clients)
+        self._rngs = RngFactory(seed)
+
+        self.model = model_builder(self._rngs.get("model-init"))
+        genesis_weights = self.model.get_weights()
+        self.tangle = Tangle(genesis_weights)
+        self.clients: dict[int, Client] = {
+            cd.client_id: Client(
+                cd, self.model, train_config, self._rngs.get("client", cd.client_id)
+            )
+            for cd in dataset.clients
+        }
+        if dag_config.personal_params > 0:
+            for client in self.clients.values():
+                client.enable_personalization(
+                    dag_config.personal_params, genesis_weights
+                )
+        self.attackers: dict[int, str] = dict(attackers or {})
+        for client_id, attack in self.attackers.items():
+            if client_id not in self.clients:
+                raise ValueError(f"attacker {client_id} is not a client")
+            if attack != "random_weights":
+                raise ValueError(f"unknown attack type {attack!r}")
+        self._sampler = self._rngs.get("round-sampler")
+        self._aggregate = get_aggregator(dag_config.aggregator)
+        self.round_index = 0
+        self.history: list[RoundRecord] = []
+
+    # ------------------------------------------------------------ selectors
+    def make_selector(
+        self, client: Client, evaluation_counter: Callable[[int], None] | None = None
+    ) -> TipSelector:
+        """Tip selector for ``client`` according to the protocol config."""
+        cfg = self.dag_config
+        if cfg.selector == "random":
+            return RandomTipSelector()
+        if cfg.selector == "weighted":
+            return WeightedTipSelector(
+                cfg.weighted_alpha, depth_range=cfg.depth_range
+            )
+        return AccuracyTipSelector(
+            lambda tx_id: client.tx_accuracy(self.tangle, tx_id),
+            alpha=cfg.alpha,
+            normalization=cfg.normalization,
+            depth_range=cfg.depth_range,
+            evaluation_counter=evaluation_counter,
+        )
+
+    # -------------------------------------------------------------- rounds
+    def _selection_view(self):
+        """What clients can see this round.
+
+        Transactions of the current round are never visible (they are
+        published concurrently); a positive ``visibility_delay``
+        additionally hides the most recent rounds, modelling propagation
+        delay.
+        """
+        delay = self.dag_config.visibility_delay
+        if delay <= 0:
+            return self.tangle
+        return TangleView(self.tangle, self.round_index - 1 - delay)
+
+    def _attacker_transaction(
+        self, client_id: int, view, rng: np.random.Generator
+    ) -> Transaction:
+        """A random-weights attack update approving uniformly random tips."""
+        tips = RandomTipSelector().select_tips(view, self.dag_config.num_tips, rng)
+        genesis = self.tangle.genesis.model_weights
+        payload = [rng.normal(0.0, 1.0, size=w.shape) for w in genesis]
+        return Transaction(
+            tx_id=self.tangle.next_tx_id(client_id),
+            parents=tuple(dict.fromkeys(tips)),
+            model_weights=payload,
+            issuer=client_id,
+            round_index=self.round_index,
+            tags={"malicious": True},
+        )
+
+    def run_round(self) -> RoundRecord:
+        """Simulate one discrete round; returns its record."""
+        cfg = self.dag_config
+        active_ids = sorted(
+            self._sampler.choice(
+                sorted(self.clients),
+                size=self.clients_per_round,
+                replace=False,
+            ).tolist()
+        )
+        record = RoundRecord(round_index=self.round_index, active_clients=active_ids)
+        pending: list[Transaction] = []
+        view = self._selection_view()
+
+        for client_id in active_ids:
+            client = self.clients[client_id]
+            walk_rng = self._rngs.get("walk", self.round_index, client_id)
+
+            if client_id in self.attackers:
+                pending.append(
+                    self._attacker_transaction(client_id, view, walk_rng)
+                )
+                continue
+
+            evaluations = 0
+
+            def count(candidates: int) -> None:
+                nonlocal evaluations
+                evaluations += candidates
+
+            selector = self.make_selector(client, evaluation_counter=count)
+            stopwatch = Stopwatch()
+            with stopwatch:
+                tips = selector.select_tips(view, cfg.num_tips, walk_rng)
+            record.walk_duration[client_id] = stopwatch.elapsed
+            record.walk_evaluations[client_id] = evaluations
+
+            parent_models = [self.tangle.get(t).model_weights for t in tips]
+            reference = client.apply_personalization(
+                self._aggregate(parent_models)
+            )
+            _, reference_accuracy = client.evaluate_weights(reference)
+            record.reference_accuracy[client_id] = reference_accuracy
+
+            trained, _train_loss = client.train(reference)
+            client.update_personal_tail(trained)
+            test_loss, test_accuracy = client.evaluate_weights(trained)
+            record.client_accuracy[client_id] = test_accuracy
+            record.client_loss[client_id] = test_loss
+
+            if (not cfg.publish_gate) or test_accuracy >= reference_accuracy:
+                unique_parents = tuple(dict.fromkeys(tips))
+                tx = Transaction(
+                    tx_id=self.tangle.next_tx_id(client_id),
+                    parents=unique_parents,
+                    model_weights=trained,
+                    issuer=client_id,
+                    round_index=self.round_index,
+                    tags=dict(self.clients[client_id].data.metadata.get("tags", {})),
+                )
+                pending.append(tx)
+
+        for tx in pending:
+            self.tangle.add(tx)
+            record.published.append(tx.tx_id)
+
+        self.round_index += 1
+        self.history.append(record)
+        return record
+
+    def run(self, rounds: int) -> list[RoundRecord]:
+        """Run ``rounds`` rounds; returns the records of this call."""
+        return [self.run_round() for _ in range(rounds)]
+
+    # ------------------------------------------------------------ consensus
+    def reference_tip(self, client_id: int, *, key: str = "reference") -> str:
+        """The transaction a client currently considers its consensus.
+
+        One extra biased walk (not counted in round bookkeeping); used by
+        evaluation code, e.g. the poisoning metrics, which measure "the
+        reference model that the clients selected from the DAG".
+        """
+        client = self.clients[client_id]
+        selector = self.make_selector(client)
+        rng = self._rngs.get(key, self.round_index, client_id)
+        return selector.select_tips(self._selection_view(), 1, rng)[0]
+
+    def consensus_accuracy(self, client_id: int) -> float:
+        """Accuracy of the client's current reference model on local test."""
+        tip = self.reference_tip(client_id)
+        return self.clients[client_id].tx_accuracy(self.tangle, tip)

@@ -1,0 +1,94 @@
+"""Federated Averaging (McMahan et al.), the centralized baseline."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.base import FederatedDataset
+from repro.fl.client import Client
+from repro.fl.config import TrainingConfig
+from repro.fl.records import RoundRecord
+from repro.nn.model import Classifier
+from repro.nn.serialization import Weights, clone_weights, weighted_average_weights
+from repro.utils.rng import RngFactory
+
+__all__ = ["FedAvgServer"]
+
+ModelBuilder = Callable[[np.random.Generator], Classifier]
+
+
+class FedAvgServer:
+    """Round-based FedAvg: sample clients, train locally, average by size.
+
+    Per-round records report the accuracy of the *aggregated* global model
+    on each active client's local test data, which is how the paper
+    evaluates FedAvg in Figure 9.
+    """
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        model_builder: ModelBuilder,
+        train_config: TrainingConfig,
+        *,
+        clients_per_round: int = 10,
+        seed: int = 0,
+    ):
+        self.dataset = dataset
+        self.clients_per_round = min(clients_per_round, dataset.num_clients)
+        self._rngs = RngFactory(seed)
+        self.model = model_builder(self._rngs.get("model-init"))
+        self.global_weights: Weights = self.model.get_weights()
+        self.clients: dict[int, Client] = {
+            cd.client_id: Client(
+                cd, self.model, train_config, self._rngs.get("client", cd.client_id)
+            )
+            for cd in dataset.clients
+        }
+        self._sampler = self._rngs.get("round-sampler")
+        self.round_index = 0
+        self.history: list[RoundRecord] = []
+
+    def _train_one(self, client: Client) -> tuple[Weights, float]:
+        """Hook for subclasses (FedProx overrides with the proximal term)."""
+        return client.train(clone_weights(self.global_weights))
+
+    def run_round(self) -> RoundRecord:
+        active_ids = sorted(
+            self._sampler.choice(
+                sorted(self.clients), size=self.clients_per_round, replace=False
+            ).tolist()
+        )
+        record = RoundRecord(round_index=self.round_index, active_clients=active_ids)
+
+        updates: list[Weights] = []
+        sizes: list[float] = []
+        for client_id in active_ids:
+            client = self.clients[client_id]
+            trained, _loss = self._train_one(client)
+            updates.append(trained)
+            sizes.append(client.data.n_train)
+
+        self.global_weights = weighted_average_weights(updates, sizes)
+
+        for client_id in active_ids:
+            loss, accuracy = self.clients[client_id].evaluate_weights(
+                self.global_weights
+            )
+            record.client_accuracy[client_id] = accuracy
+            record.client_loss[client_id] = loss
+
+        self.round_index += 1
+        self.history.append(record)
+        return record
+
+    def run(self, rounds: int) -> list[RoundRecord]:
+        return [self.run_round() for _ in range(rounds)]
+
+    def evaluate_global(self) -> tuple[float, float]:
+        """(loss, accuracy) of the global model over all clients' test data."""
+        x, y = self.dataset.global_test_set()
+        self.model.set_weights(self.global_weights)
+        return self.model.evaluate(x, y)

@@ -1,0 +1,52 @@
+"""FedProx (Li et al.): FedAvg with a proximal local objective.
+
+Two heterogeneity mechanisms from the FedProx paper are modelled: the
+proximal term ``mu/2 * ||w - w_global||^2`` in the local objective, and
+optional *stragglers* — clients that only manage a fraction of the local
+epochs.  FedProx still aggregates straggler updates (that is its point);
+plain FedAvg in the original comparison drops them, but the paper's
+Figures 10/11 use the no-straggler configuration, which is our default.
+"""
+
+from __future__ import annotations
+
+from repro.fl.client import Client
+from repro.fl.fedavg import FedAvgServer
+from repro.nn.serialization import Weights, clone_weights
+from repro.utils.validation import check_probability
+
+__all__ = ["FedProxServer"]
+
+
+class FedProxServer(FedAvgServer):
+    """FedAvg with proximal local training."""
+
+    def __init__(
+        self,
+        *args,
+        mu: float = 0.5,
+        straggler_fraction: float = 0.0,
+        straggler_epochs: int = 1,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if mu < 0:
+            raise ValueError("mu must be >= 0")
+        check_probability("straggler_fraction", straggler_fraction)
+        self.mu = mu
+        self.straggler_fraction = straggler_fraction
+        self.straggler_epochs = straggler_epochs
+        self._straggler_rng = self._rngs.get("stragglers")
+
+    def _train_one(self, client: Client) -> tuple[Weights, float]:
+        epochs_override = None
+        if (
+            self.straggler_fraction > 0.0
+            and self._straggler_rng.random() < self.straggler_fraction
+        ):
+            epochs_override = self.straggler_epochs
+        return client.train(
+            clone_weights(self.global_weights),
+            proximal_mu=self.mu,
+            epochs_override=epochs_override,
+        )

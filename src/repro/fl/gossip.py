@@ -1,0 +1,82 @@
+"""Gossip learning baseline (Ormándi/Hegedűs et al., Section 3.2).
+
+Each round, every active client picks a random peer, averages the peer's
+current model with its own, and trains the merge on local data.  There is
+no ledger and no server; models spread epidemically.  Included as the
+decentralized comparison point discussed in the paper's related work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.base import FederatedDataset
+from repro.fl.client import Client
+from repro.fl.config import TrainingConfig
+from repro.fl.records import RoundRecord
+from repro.nn.model import Classifier
+from repro.nn.serialization import Weights, average_weights, clone_weights
+from repro.utils.rng import RngFactory
+
+__all__ = ["GossipLearning"]
+
+ModelBuilder = Callable[[np.random.Generator], Classifier]
+
+
+class GossipLearning:
+    """Peer-to-peer gossip learning simulator."""
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        model_builder: ModelBuilder,
+        train_config: TrainingConfig,
+        *,
+        clients_per_round: int = 10,
+        seed: int = 0,
+    ):
+        self.dataset = dataset
+        self.clients_per_round = min(clients_per_round, dataset.num_clients)
+        self._rngs = RngFactory(seed)
+        self.model = model_builder(self._rngs.get("model-init"))
+        initial = self.model.get_weights()
+        self.clients: dict[int, Client] = {}
+        self.local_weights: dict[int, Weights] = {}
+        for cd in dataset.clients:
+            self.clients[cd.client_id] = Client(
+                cd, self.model, train_config, self._rngs.get("client", cd.client_id)
+            )
+            self.local_weights[cd.client_id] = clone_weights(initial)
+        self._sampler = self._rngs.get("round-sampler")
+        self.round_index = 0
+        self.history: list[RoundRecord] = []
+
+    def run_round(self) -> RoundRecord:
+        ids = sorted(self.clients)
+        active_ids = sorted(
+            self._sampler.choice(
+                ids, size=self.clients_per_round, replace=False
+            ).tolist()
+        )
+        record = RoundRecord(round_index=self.round_index, active_clients=active_ids)
+        # Snapshot so merges within a round use start-of-round models,
+        # mirroring the concurrent semantics of the DAG simulator.
+        snapshot = {cid: self.local_weights[cid] for cid in ids}
+        for client_id in active_ids:
+            client = self.clients[client_id]
+            peers = [cid for cid in ids if cid != client_id]
+            peer = int(self._sampler.choice(peers))
+            merged = average_weights([snapshot[client_id], snapshot[peer]])
+            trained, _loss = client.train(merged)
+            self.local_weights[client_id] = trained
+            loss, accuracy = client.evaluate_weights(trained)
+            record.client_accuracy[client_id] = accuracy
+            record.client_loss[client_id] = loss
+        self.round_index += 1
+        self.history.append(record)
+        return record
+
+    def run(self, rounds: int) -> list[RoundRecord]:
+        return [self.run_round() for _ in range(rounds)]

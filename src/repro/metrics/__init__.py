@@ -1,0 +1,26 @@
+"""Metrics for quantifying implicit specialization (Section 4.3).
+
+The network's communities are not explicit in the DAG; they are derived:
+``G_clients`` weights client pairs by mutual approvals, Louvain finds its
+communities, and modularity / misclassification fraction / approval
+pureness quantify how well those communities match the data clusters.
+"""
+
+from repro.metrics.graph import WeightedGraph
+from repro.metrics.clients_graph import build_clients_graph
+from repro.metrics.modularity import louvain_communities, modularity
+from repro.metrics.pureness import approval_pureness, expected_random_pureness
+from repro.metrics.misclassification import misclassification_fraction
+from repro.metrics.specialization import SpecializationReport, analyze_specialization
+
+__all__ = [
+    "WeightedGraph",
+    "build_clients_graph",
+    "louvain_communities",
+    "modularity",
+    "approval_pureness",
+    "expected_random_pureness",
+    "misclassification_fraction",
+    "SpecializationReport",
+    "analyze_specialization",
+]

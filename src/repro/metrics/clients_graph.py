@@ -1,0 +1,36 @@
+"""The derived graph of clients (Section 4.3).
+
+``G_clients``: the edge weight between clients a and b is the number of
+transactions published by a that directly approve a transaction of b, or
+vice versa.  Genesis approvals and self-approvals carry no information
+about inter-client affinity and are excluded.
+"""
+
+from __future__ import annotations
+
+from repro.dag.tangle import Tangle
+from repro.metrics.graph import WeightedGraph
+
+__all__ = ["build_clients_graph"]
+
+
+def build_clients_graph(
+    tangle: Tangle, *, include_clients: list[int] | None = None
+) -> WeightedGraph:
+    """Build ``G_clients`` from the approval edges of a tangle.
+
+    ``include_clients`` pre-registers nodes so that clients that never
+    published still appear (with degree zero) — community metrics expect a
+    fixed, known client set.
+    """
+    graph = WeightedGraph()
+    if include_clients is not None:
+        for client_id in include_clients:
+            graph.add_node(client_id)
+    for approving, approved in tangle.approval_edges():
+        if approving.issuer < 0 or approved.issuer < 0:
+            continue
+        if approving.issuer == approved.issuer:
+            continue
+        graph.add_edge(approving.issuer, approved.issuer, 1.0)
+    return graph

@@ -1,0 +1,80 @@
+"""A minimal undirected weighted graph.
+
+Deliberately tiny — just what modularity and Louvain need.  The
+test-suite cross-checks results against networkx, but the library itself
+does not depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["WeightedGraph"]
+
+Node = Hashable
+
+
+class WeightedGraph:
+    """Undirected graph with accumulating edge weights and self-loops."""
+
+    def __init__(self) -> None:
+        self._adjacency: dict[Node, dict[Node, float]] = {}
+
+    # ------------------------------------------------------------ mutation
+    def add_node(self, node: Node) -> None:
+        self._adjacency.setdefault(node, {})
+
+    def add_edge(self, a: Node, b: Node, weight: float = 1.0) -> None:
+        """Add ``weight`` to the edge (a, b), creating nodes as needed."""
+        if weight < 0:
+            raise ValueError("edge weights must be non-negative")
+        self.add_node(a)
+        self.add_node(b)
+        self._adjacency[a][b] = self._adjacency[a].get(b, 0.0) + weight
+        if a != b:
+            self._adjacency[b][a] = self._adjacency[b].get(a, 0.0) + weight
+
+    # ------------------------------------------------------------- queries
+    def nodes(self) -> list[Node]:
+        return list(self._adjacency)
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adjacency
+
+    def neighbors(self, node: Node) -> dict[Node, float]:
+        """Neighbor -> edge weight (includes the node itself for loops)."""
+        return dict(self._adjacency[node])
+
+    def edge_weight(self, a: Node, b: Node) -> float:
+        return self._adjacency.get(a, {}).get(b, 0.0)
+
+    def edges(self) -> Iterable[tuple[Node, Node, float]]:
+        """Each undirected edge once (self-loops included once)."""
+        seen: set[tuple[Node, Node]] = set()
+        for a, nbrs in self._adjacency.items():
+            for b, weight in nbrs.items():
+                key = (a, b) if repr(a) <= repr(b) else (b, a)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield a, b, weight
+
+    def degree(self, node: Node) -> float:
+        """Weighted degree; self-loops count twice (standard convention)."""
+        nbrs = self._adjacency[node]
+        return sum(nbrs.values()) + nbrs.get(node, 0.0)
+
+    def total_edge_weight(self) -> float:
+        """Sum of edge weights over undirected edges (self-loops once)."""
+        return sum(weight for _a, _b, weight in self.edges())
+
+    def subgraph_weight_within(self, members: set[Node]) -> float:
+        """Total weight of edges with both endpoints in ``members``."""
+        return sum(
+            weight
+            for a, b, weight in self.edges()
+            if a in members and b in members
+        )

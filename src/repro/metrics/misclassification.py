@@ -1,0 +1,41 @@
+"""Misclassification fraction (Section 4.3).
+
+Given an inferred partition of clients (from Louvain on ``G_clients``)
+and the ground-truth cluster labels, a client is *misclassified* when it
+"ends up in a cluster where the relative majority of clients belongs to a
+different cluster according to the input labels".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["misclassification_fraction"]
+
+
+def misclassification_fraction(
+    inferred: dict[int, int], truth: dict[int, int]
+) -> float:
+    """Fraction of clients outside their inferred community's majority.
+
+    Ties for the majority are resolved generously: a client whose true
+    label is *any* of the tied majority labels counts as correctly
+    classified.
+    """
+    if not inferred:
+        raise ValueError("inferred partition must not be empty")
+    for client in inferred:
+        if client not in truth:
+            raise KeyError(f"no ground-truth cluster for client {client}")
+
+    members_by_community: dict[int, list[int]] = {}
+    for client, community in inferred.items():
+        members_by_community.setdefault(community, []).append(client)
+
+    misclassified = 0
+    for members in members_by_community.values():
+        counts = Counter(truth[m] for m in members)
+        top_count = counts.most_common(1)[0][1]
+        majority_labels = {label for label, c in counts.items() if c == top_count}
+        misclassified += sum(1 for m in members if truth[m] not in majority_labels)
+    return misclassified / len(inferred)

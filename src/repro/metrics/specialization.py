@@ -1,0 +1,55 @@
+"""One-call specialization analysis used by the experiments.
+
+Bundles the Section 4.3 pipeline: build ``G_clients``, run Louvain,
+compute modularity, partition count, misclassification fraction, and
+approval pureness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.tangle import Tangle
+from repro.metrics.clients_graph import build_clients_graph
+from repro.metrics.misclassification import misclassification_fraction
+from repro.metrics.modularity import louvain_communities, modularity
+from repro.metrics.pureness import approval_pureness, expected_random_pureness
+
+__all__ = ["SpecializationReport", "analyze_specialization"]
+
+
+@dataclass(frozen=True)
+class SpecializationReport:
+    """Snapshot of the implicit-specialization metrics for one tangle."""
+
+    modularity: float
+    num_partitions: int
+    misclassification: float
+    pureness: float
+    base_pureness: float
+    partition: dict[int, int]
+
+
+def analyze_specialization(
+    tangle: Tangle,
+    cluster_labels: dict[int, int],
+    *,
+    seed: int | np.random.Generator = 0,
+) -> SpecializationReport:
+    """Compute the full Section 4.3 metric suite for a tangle.
+
+    ``cluster_labels`` maps client id -> ground-truth cluster; all clients
+    in the map are included in ``G_clients`` even if they never published.
+    """
+    graph = build_clients_graph(tangle, include_clients=sorted(cluster_labels))
+    partition = louvain_communities(graph, seed=seed)
+    return SpecializationReport(
+        modularity=modularity(graph, partition),
+        num_partitions=len(set(partition.values())),
+        misclassification=misclassification_fraction(partition, cluster_labels),
+        pureness=approval_pureness(tangle, cluster_labels),
+        base_pureness=expected_random_pureness(cluster_labels),
+        partition=partition,
+    )

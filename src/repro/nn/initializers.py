@@ -1,0 +1,66 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+model construction is fully deterministic under the experiment seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_uniform", "orthogonal", "zeros"]
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, *, fan_in: int | None = None, fan_out: int | None = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization.
+
+    Suitable for tanh/sigmoid-activated layers (the LSTM gates and the
+    output layers of the paper's models).
+    """
+    if fan_in is None or fan_out is None:
+        fi, fo = _infer_fans(shape)
+        fan_in = fan_in if fan_in is not None else fi
+        fan_out = fan_out if fan_out is not None else fo
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator, *, fan_in: int | None = None) -> np.ndarray:
+    """He uniform initialization for ReLU-activated layers."""
+    if fan_in is None:
+        fan_in, _ = _infer_fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator, *, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization, used for LSTM recurrent kernels."""
+    rows, cols = shape
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _infer_fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Infer (fan_in, fan_out) from a kernel shape.
+
+    Dense kernels are (in, out); conv kernels are
+    (out_channels, in_channels, kh, kw).
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size

@@ -1,0 +1,24 @@
+"""Concrete layer implementations with manual back-propagation."""
+
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.activations import ReLU, Tanh, Sigmoid
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.pool import MaxPool2D
+from repro.nn.layers.reshape import Flatten, LastTimeStep
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.embedding import Embedding
+from repro.nn.layers.lstm import LSTM
+
+__all__ = [
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Conv2D",
+    "MaxPool2D",
+    "Flatten",
+    "LastTimeStep",
+    "Dropout",
+    "Embedding",
+    "LSTM",
+]

@@ -1,0 +1,138 @@
+"""2-D convolution via im2col.
+
+Inputs use NCHW layout: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import he_uniform, zeros
+from repro.nn.module import Layer
+from repro.nn.parameter import Parameter
+
+__all__ = ["Conv2D", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold image patches into columns.
+
+    Returns an array of shape ``(N, C, kh, kw, out_h, out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold patch columns back into an image, accumulating overlaps.
+
+    The adjoint of :func:`im2col`; used for the gradient w.r.t. the input.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2D(Layer):
+    """2-D convolution layer (cross-correlation, as in all DL frameworks)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        name: str = "conv",
+    ):
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(he_uniform(shape, rng), name=f"{name}.weight")
+        self.bias = Parameter(zeros((out_channels,)), name=f"{name}.bias")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        k = self.kernel_size
+        cols = im2col(x, k, k, self.stride, self.padding)
+        n = x.shape[0]
+        out_h, out_w = cols.shape[4], cols.shape[5]
+        # (N, C*kh*kw, out_h*out_w)
+        cols2 = cols.reshape(n, self.in_channels * k * k, out_h * out_w)
+        kernel2 = self.weight.value.reshape(self.out_channels, -1)
+        out = np.einsum("of,nfp->nop", kernel2, cols2)
+        out = out.reshape(n, self.out_channels, out_h, out_w)
+        out += self.bias.value[None, :, None, None]
+        self._cols = cols2
+        self._x_shape = x.shape
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, _, out_h, out_w = grad_out.shape
+        k = self.kernel_size
+        g2 = grad_out.reshape(n, self.out_channels, out_h * out_w)
+        # dW: sum over batch and positions
+        grad_kernel = np.einsum("nop,nfp->of", g2, self._cols)
+        self.weight.grad += grad_kernel.reshape(self.weight.value.shape)
+        self.bias.grad += g2.sum(axis=(0, 2))
+        kernel2 = self.weight.value.reshape(self.out_channels, -1)
+        grad_cols = np.einsum("of,nop->nfp", kernel2, g2)
+        grad_cols = grad_cols.reshape(n, self.in_channels, k, k, out_h, out_w)
+        grad_in = col2im(grad_cols, self._x_shape, k, k, self.stride, self.padding)
+        self._cols = None
+        self._x_shape = None
+        return grad_in
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]

@@ -1,0 +1,63 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, he_uniform, zeros
+from repro.nn.module import Layer
+from repro.nn.parameter import Parameter
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """Affine transformation ``y = x @ W + b``.
+
+    Accepts inputs of shape ``(..., in_features)``; the transformation is
+    applied over the last axis, which lets the same layer serve both MLP
+    heads (``(N, F)``) and per-timestep projections (``(N, T, F)``).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        *,
+        init: str = "glorot",
+        name: str = "dense",
+    ):
+        if init == "glorot":
+            kernel = glorot_uniform((in_features, out_features), rng)
+        elif init == "he":
+            kernel = he_uniform((in_features, out_features), rng)
+        else:
+            raise ValueError(f"unknown init {init!r}")
+        self.weight = Parameter(kernel, name=f"{name}.weight")
+        self.bias = Parameter(zeros((out_features,)), name=f"{name}.bias")
+        self.in_features = in_features
+        self.out_features = out_features
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Dense expected last dim {self.in_features}, got shape {x.shape}"
+            )
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._x
+        if x is None:
+            raise RuntimeError("backward called before forward")
+        x2 = x.reshape(-1, self.in_features)
+        g2 = grad_out.reshape(-1, self.out_features)
+        self.weight.grad += x2.T @ g2
+        self.bias.grad += g2.sum(axis=0)
+        self._x = None
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]

@@ -1,0 +1,41 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Layer
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``train=True``.
+
+    The dropout mask is drawn from the layer's own generator, seeded at
+    construction, so training remains deterministic under the experiment
+    seed.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator | int | None = None):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = ensure_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        if not train or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        grad_in = grad_out * self._mask
+        self._mask = None
+        return grad_in

@@ -1,0 +1,52 @@
+"""Max-pooling layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.conv import im2col
+from repro.nn.module import Layer
+
+__all__ = ["MaxPool2D"]
+
+
+class MaxPool2D(Layer):
+    """Max pooling over non-overlapping or strided windows (NCHW)."""
+
+    def __init__(self, pool_size: int = 2, stride: int | None = None):
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"MaxPool2D expects (N, C, H, W), got {x.shape}")
+        p = self.pool_size
+        cols = im2col(x, p, p, self.stride, 0)  # (N, C, p, p, oh, ow)
+        n, c, _, _, oh, ow = cols.shape
+        windows = cols.reshape(n, c, p * p, oh, ow)
+        self._argmax = windows.argmax(axis=2)
+        out = windows.max(axis=2)
+        self._x_shape = x.shape
+        self._out_hw = (oh, ow)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        p = self.pool_size
+        oh, ow = self._out_hw
+        grad_windows = np.zeros((n, c, p * p, oh, ow), dtype=grad_out.dtype)
+        n_idx, c_idx, oh_idx, ow_idx = np.indices((n, c, oh, ow))
+        grad_windows[n_idx, c_idx, self._argmax, oh_idx, ow_idx] = grad_out
+        grad_cols = grad_windows.reshape(n, c, p, p, oh, ow)
+        from repro.nn.layers.conv import col2im
+
+        grad_in = col2im(grad_cols, self._x_shape, p, p, self.stride, 0)
+        self._argmax = None
+        self._x_shape = None
+        self._out_hw = None
+        return grad_in

@@ -1,0 +1,52 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Layer
+
+__all__ = ["Flatten", "LastTimeStep"]
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions: ``(N, ...) -> (N, prod(...))``."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_in = grad_out.reshape(self._shape)
+        self._shape = None
+        return grad_in
+
+
+class LastTimeStep(Layer):
+    """Select the final timestep of a sequence: ``(N, T, H) -> (N, H)``.
+
+    Used to connect the LSTM to the classification head for next-character
+    prediction.
+    """
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"LastTimeStep expects (N, T, H), got {x.shape}")
+        self._shape = x.shape
+        return x[:, -1, :]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_in = np.zeros(self._shape, dtype=grad_out.dtype)
+        grad_in[:, -1, :] = grad_out
+        self._shape = None
+        return grad_in

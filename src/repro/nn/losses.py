@@ -1,0 +1,44 @@
+"""Losses.
+
+Only softmax cross-entropy is needed by the paper's tasks; it is fused
+(softmax + negative log-likelihood) for numeric stability, returning the
+loss together with the gradient w.r.t. the logits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax_probabilities", "softmax_cross_entropy"]
+
+
+def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax of a ``(N, K)`` logit matrix."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy between softmax(logits) and integer labels.
+
+    Returns ``(loss, grad)`` where ``grad`` is the gradient of the *mean*
+    loss w.r.t. the logits (shape ``(N, K)``).
+    """
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, K), got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"labels must be (N,) matching logits {logits.shape}, got {labels.shape}"
+        )
+    n = logits.shape[0]
+    probs = softmax_probabilities(logits)
+    picked = probs[np.arange(n), labels]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad

@@ -1,0 +1,137 @@
+"""High-level classifier wrapper around a :class:`Sequential` network."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import softmax_cross_entropy, softmax_probabilities
+from repro.nn.module import Sequential
+from repro.nn.optimizers import SGD
+from repro.nn.serialization import Weights, clone_weights
+
+__all__ = ["Classifier"]
+
+
+class Classifier:
+    """A classification model: network producing logits + CE loss.
+
+    Provides the operations federated-learning code needs: batched
+    training with a fixed batch budget, evaluation (loss + accuracy), and
+    weight get/set so the same instance can be re-pointed at arbitrary
+    weights (crucial for cheap model evaluation during the random walk).
+    """
+
+    def __init__(self, net: Sequential):
+        self.net = net
+        self._params = net.parameters()
+
+    # ----------------------------------------------------------- weights
+    def get_weights(self) -> Weights:
+        """Copy of the current weights, in parameter order."""
+        return [p.value.copy() for p in self._params]
+
+    def set_weights(self, weights: Weights) -> None:
+        """Load weights (copied) into the model."""
+        if len(weights) != len(self._params):
+            raise ValueError(
+                f"expected {len(self._params)} arrays, got {len(weights)}"
+            )
+        for param, value in zip(self._params, weights):
+            if param.value.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {param.name}: "
+                    f"{param.value.shape} vs {value.shape}"
+                )
+            param.value = np.array(value, dtype=np.float64, copy=True)
+            param.grad = np.zeros_like(param.value)
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self._params)
+
+    # ---------------------------------------------------------- inference
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        return self.net.forward(x, train=False)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class indices."""
+        return self.logits(x).argmax(axis=1)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class probabilities."""
+        return softmax_probabilities(self.logits(x))
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, *, batch_size: int = 256
+    ) -> tuple[float, float]:
+        """Return ``(mean_loss, accuracy)`` over a dataset."""
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot evaluate on an empty dataset")
+        total_loss = 0.0
+        correct = 0
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = self.net.forward(xb, train=False)
+            loss, _ = softmax_cross_entropy(logits, yb)
+            total_loss += loss * xb.shape[0]
+            correct += int((logits.argmax(axis=1) == yb).sum())
+        return total_loss / n, correct / n
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy only (convenience for the random walk)."""
+        return self.evaluate(x, y)[1]
+
+    # ----------------------------------------------------------- training
+    def train_batch(self, x: np.ndarray, y: np.ndarray, optimizer: SGD) -> float:
+        """One optimizer step on a single batch; returns the batch loss."""
+        logits = self.net.forward(x, train=True)
+        loss, grad = softmax_cross_entropy(logits, y)
+        self.net.backward(grad)
+        optimizer.step(self._params)
+        return loss
+
+    def train_local(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimizer: SGD,
+        rng: np.random.Generator,
+        *,
+        epochs: int = 1,
+        batch_size: int = 10,
+        max_batches: int | None = None,
+    ) -> float:
+        """Local training loop used by all FL clients.
+
+        ``max_batches`` caps the number of batches *per epoch* (the paper
+        fixes the number of local batches to equalize compute across
+        clients with unevenly sized datasets).  Batches are sampled by
+        shuffling; when the dataset is smaller than the batch budget the
+        shuffled data is recycled.  Returns the mean batch loss across the
+        whole call.
+        """
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot train on an empty dataset")
+        losses: list[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            batch_starts = range(0, n, batch_size)
+            batches = [order[s : s + batch_size] for s in batch_starts]
+            if max_batches is not None:
+                while len(batches) < max_batches:
+                    extra_order = rng.permutation(n)
+                    batches.extend(
+                        extra_order[s : s + batch_size]
+                        for s in range(0, n, batch_size)
+                    )
+                batches = batches[:max_batches]
+            for idx in batches:
+                losses.append(self.train_batch(x[idx], y[idx], optimizer))
+        return float(np.mean(losses))
+
+    def clone_initial_weights(self) -> Weights:
+        """Alias of :meth:`get_weights` kept for API clarity at call sites."""
+        return clone_weights(self.get_weights())

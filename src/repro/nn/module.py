@@ -1,0 +1,68 @@
+"""Layer base class and the :class:`Sequential` container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Layer", "Sequential"]
+
+
+class Layer:
+    """Base class for all layers.
+
+    A layer transforms an input array in :meth:`forward` and propagates
+    gradients in :meth:`backward`.  ``backward`` must be called with the
+    gradient of the loss w.r.t. the layer's *output* and returns the
+    gradient w.r.t. its *input*; parameter gradients are *accumulated* into
+    ``Parameter.grad``.  Layers cache whatever they need between the two
+    calls, so a forward/backward pair must not be interleaved with another
+    forward on the same layer instance.
+    """
+
+    def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters of this layer (default: none)."""
+        return []
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def __call__(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        return self.forward(x, train=train)
+
+
+class Sequential(Layer):
+    """A linear stack of layers applied in order."""
+
+    def __init__(self, layers: list[Layer]):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]

@@ -1,0 +1,146 @@
+"""SGD-family optimizers.
+
+``ProximalSGD`` implements the FedProx local objective: plain SGD plus a
+proximal pull ``mu * (w - w_ref)`` towards the weights received from the
+server at the start of the round.  ``Adam`` is provided for users who
+extend the library beyond the paper's plain-SGD setting.  All optimizers
+support global-norm gradient clipping (useful for LSTM stability).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.utils.validation import check_positive
+
+__all__ = ["SGD", "ProximalSGD", "Adam", "clip_gradients"]
+
+
+def clip_gradients(params: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    check_positive("max_norm", max_norm)
+    total = np.sqrt(sum(float(np.sum(p.grad**2)) for p in params))
+    if total > max_norm and total > 0:
+        factor = max_norm / total
+        for param in params:
+            param.grad *= factor
+    return float(total)
+
+
+class SGD:
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, lr: float, *, momentum: float = 0.0, clip_norm: float | None = None):
+        self.lr = check_positive("lr", lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if clip_norm is not None:
+            check_positive("clip_norm", clip_norm)
+        self.momentum = momentum
+        self.clip_norm = clip_norm
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params: list[Parameter]) -> None:
+        """Apply one update and clear gradients."""
+        if self.clip_norm is not None:
+            clip_gradients(params, self.clip_norm)
+        for param in params:
+            update = self._direction(param)
+            param.value -= self.lr * update
+            param.zero_grad()
+
+    def _direction(self, param: Parameter) -> np.ndarray:
+        grad = param.grad
+        if self.momentum == 0.0:
+            return grad
+        key = id(param)
+        velocity = self._velocity.get(key)
+        if velocity is None:
+            velocity = np.zeros_like(param.value)
+        velocity = self.momentum * velocity + grad
+        self._velocity[key] = velocity
+        return velocity
+
+
+class ProximalSGD(SGD):
+    """SGD with a proximal term anchoring the weights to a reference.
+
+    The effective gradient is ``grad + mu * (w - w_ref)``, matching the
+    FedProx local subproblem (Li et al.).  Set the reference at the start
+    of each federated round with :meth:`set_reference`.
+    """
+
+    def __init__(self, lr: float, mu: float, *, momentum: float = 0.0):
+        super().__init__(lr, momentum=momentum)
+        check_positive("mu", mu, strict=False)
+        self.mu = mu
+        self._reference: list[np.ndarray] | None = None
+
+    def set_reference(self, weights: list[np.ndarray]) -> None:
+        """Anchor subsequent updates to ``weights`` (copied)."""
+        self._reference = [np.array(w, dtype=np.float64) for w in weights]
+
+    def step(self, params: list[Parameter]) -> None:
+        if self._reference is not None:
+            if len(self._reference) != len(params):
+                raise ValueError(
+                    f"reference has {len(self._reference)} arrays, "
+                    f"model has {len(params)} parameters"
+                )
+            for param, ref in zip(params, self._reference):
+                param.grad += self.mu * (param.value - ref)
+        super().step(params)
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction and optional clipping."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clip_norm: float | None = None,
+    ):
+        self.lr = check_positive("lr", lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        check_positive("eps", eps)
+        if clip_norm is not None:
+            check_positive("clip_norm", clip_norm)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[Parameter]) -> None:
+        """Apply one Adam update and clear gradients."""
+        if self.clip_norm is not None:
+            clip_gradients(params, self.clip_norm)
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param in params:
+            key = id(param)
+            m = self._m.get(key)
+            v = self._v.get(key)
+            if m is None:
+                m = np.zeros_like(param.value)
+                v = np.zeros_like(param.value)
+            m = self.beta1 * m + (1.0 - self.beta1) * param.grad
+            v = self.beta2 * v + (1.0 - self.beta2) * param.grad**2
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.zero_grad()

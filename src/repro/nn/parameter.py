@@ -1,0 +1,40 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable array together with its accumulated gradient.
+
+    Layers expose their parameters through :meth:`Layer.parameters`;
+    optimizers read ``grad`` and update ``value`` in place.  The gradient is
+    accumulated by layer ``backward`` passes and must be cleared (via
+    :meth:`zero_grad`) between optimization steps — optimizers do this
+    automatically after applying an update.
+    """
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, value: np.ndarray, name: str = "param"):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name}, shape={self.value.shape})"

@@ -1,0 +1,100 @@
+"""Model-weight utilities: copy, compare, and average.
+
+Model weights travel through the DAG as plain lists of numpy arrays (one
+per :class:`~repro.nn.parameter.Parameter`, in layer order).  Averaging two
+parents' weights is the core "merge" operation of the specializing DAG, and
+weighted averaging is what the FedAvg/FedProx servers do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "clone_weights",
+    "average_weights",
+    "weighted_average_weights",
+    "weights_allclose",
+    "weights_l2_distance",
+    "flatten_weights",
+    "total_parameter_count",
+]
+
+Weights = list[np.ndarray]
+
+
+def clone_weights(weights: Weights) -> Weights:
+    """Deep-copy a weight list."""
+    return [np.array(w, dtype=np.float64, copy=True) for w in weights]
+
+
+def _check_compatible(weight_sets: list[Weights]) -> None:
+    if not weight_sets:
+        raise ValueError("need at least one weight set")
+    first = weight_sets[0]
+    for other in weight_sets[1:]:
+        if len(other) != len(first):
+            raise ValueError(
+                f"weight sets have different lengths: {len(first)} vs {len(other)}"
+            )
+        for a, b in zip(first, other):
+            if a.shape != b.shape:
+                raise ValueError(f"weight shapes differ: {a.shape} vs {b.shape}")
+
+
+def average_weights(weight_sets: list[Weights]) -> Weights:
+    """Parameter-wise arithmetic mean of several weight sets."""
+    _check_compatible(weight_sets)
+    count = len(weight_sets)
+    return [
+        sum(ws[i] for ws in weight_sets) / count for i in range(len(weight_sets[0]))
+    ]
+
+
+def weighted_average_weights(weight_sets: list[Weights], coefficients: list[float]) -> Weights:
+    """Convex combination of weight sets (FedAvg aggregation).
+
+    ``coefficients`` are normalized to sum to one, so callers may pass raw
+    sample counts.
+    """
+    _check_compatible(weight_sets)
+    if len(coefficients) != len(weight_sets):
+        raise ValueError("one coefficient per weight set required")
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if np.any(coeffs < 0):
+        raise ValueError("coefficients must be non-negative")
+    total = coeffs.sum()
+    if total <= 0:
+        raise ValueError("coefficients must not all be zero")
+    coeffs = coeffs / total
+    return [
+        sum(c * ws[i] for c, ws in zip(coeffs, weight_sets))
+        for i in range(len(weight_sets[0]))
+    ]
+
+
+def weights_allclose(a: Weights, b: Weights, *, atol: float = 1e-10) -> bool:
+    """True when two weight lists are element-wise close."""
+    if len(a) != len(b):
+        return False
+    return all(
+        x.shape == y.shape and np.allclose(x, y, atol=atol) for x, y in zip(a, b)
+    )
+
+
+def weights_l2_distance(a: Weights, b: Weights) -> float:
+    """Euclidean distance between two weight lists viewed as one vector."""
+    _check_compatible([a, b])
+    return float(
+        np.sqrt(sum(float(np.sum((x - y) ** 2)) for x, y in zip(a, b)))
+    )
+
+
+def flatten_weights(weights: Weights) -> np.ndarray:
+    """Concatenate all arrays into a single 1-D vector."""
+    return np.concatenate([w.reshape(-1) for w in weights])
+
+
+def total_parameter_count(weights: Weights) -> int:
+    """Number of scalars in a weight list."""
+    return int(sum(w.size for w in weights))

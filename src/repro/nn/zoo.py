@@ -1,0 +1,181 @@
+"""Model builders for the paper's three tasks plus the FedProx baseline.
+
+Each builder returns a :class:`~repro.nn.model.Classifier`.  The ``size``
+argument selects between the paper's architecture (``"paper"``, Section
+5.2) and a scaled-down variant (``"small"``) used by the fast experiment
+profiles; the two share structure (conv/pool stacks, LSTM-over-embedding)
+so protocol behaviour is preserved while CPU cost shrinks by orders of
+magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Embedding,
+    Flatten,
+    LSTM,
+    LastTimeStep,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.model import Classifier
+from repro.nn.module import Sequential
+
+__all__ = [
+    "build_fmnist_cnn",
+    "build_poets_lstm",
+    "build_cifar_cnn",
+    "build_logistic_regression",
+    "build_mlp",
+]
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def build_fmnist_cnn(
+    rng: np.random.Generator,
+    *,
+    image_size: int = 14,
+    in_channels: int = 1,
+    num_classes: int = 10,
+    size: str = "small",
+) -> Classifier:
+    """CNN for the FMNIST-clustered task.
+
+    ``paper``: two 5x5 conv layers (32, 64 filters) + 2048-unit dense head
+    on 28x28 inputs, as in LEAF.  ``small``: the same two-conv/pool shape
+    with 3x3 kernels and narrow widths for fast simulation.
+    """
+    if size == "paper":
+        convs = [(32, 5, 0), (64, 5, 0)]
+        hidden = [2048]
+    elif size == "small":
+        convs = [(8, 3, 1), (16, 3, 1)]
+        hidden = [32]
+    else:
+        raise ValueError(f"unknown size {size!r}")
+
+    layers: list = []
+    channels = in_channels
+    spatial = image_size
+    for filters, kernel, padding in convs:
+        layers.append(
+            Conv2D(channels, filters, kernel, rng, padding=padding)
+        )
+        layers.append(ReLU())
+        layers.append(MaxPool2D(2, 2))
+        spatial = _conv_out(spatial, kernel, 1, padding)
+        spatial = _conv_out(spatial, 2, 2, 0)
+        channels = filters
+    layers.append(Flatten())
+    features = channels * spatial * spatial
+    for width in hidden:
+        layers.append(Dense(features, width, rng, init="he"))
+        layers.append(ReLU())
+        features = width
+    layers.append(Dense(features, num_classes, rng))
+    return Classifier(Sequential(layers))
+
+
+def build_poets_lstm(
+    rng: np.random.Generator,
+    *,
+    vocab_size: int,
+    embedding_dim: int = 8,
+    size: str = "small",
+) -> Classifier:
+    """Embedding -> LSTM stack -> dense head for next-character prediction.
+
+    ``paper``: two LSTM layers with 256 units on 80-char sequences.
+    ``small``: a single 32-unit LSTM.  Sequence length is a property of the
+    data, not the model, so it is not fixed here.
+    """
+    if size == "paper":
+        lstm_sizes = [256, 256]
+    elif size == "small":
+        lstm_sizes = [32]
+    else:
+        raise ValueError(f"unknown size {size!r}")
+
+    layers: list = [Embedding(vocab_size, embedding_dim, rng)]
+    features = embedding_dim
+    for width in lstm_sizes:
+        layers.append(LSTM(features, width, rng))
+        features = width
+    layers.append(LastTimeStep())
+    layers.append(Dense(features, vocab_size, rng))
+    return Classifier(Sequential(layers))
+
+
+def build_cifar_cnn(
+    rng: np.random.Generator,
+    *,
+    image_size: int = 16,
+    in_channels: int = 3,
+    num_classes: int = 100,
+    size: str = "small",
+) -> Classifier:
+    """CNN for the CIFAR-100-like task.
+
+    ``paper``: three conv layers (32, 64, 128 filters) and dense layers
+    256/128 before the 100-way output.  ``small``: the same three-stage
+    shape with narrow widths on 16x16 inputs.
+    """
+    if size == "paper":
+        convs = [(32, 5, 2), (64, 5, 2), (128, 5, 2)]
+        hidden = [256, 128]
+    elif size == "small":
+        convs = [(8, 3, 1), (16, 3, 1), (32, 3, 1)]
+        hidden = [64]
+    else:
+        raise ValueError(f"unknown size {size!r}")
+
+    layers: list = []
+    channels = in_channels
+    spatial = image_size
+    for filters, kernel, padding in convs:
+        layers.append(Conv2D(channels, filters, kernel, rng, padding=padding))
+        layers.append(ReLU())
+        layers.append(MaxPool2D(2, 2))
+        spatial = _conv_out(spatial, kernel, 1, padding)
+        spatial = _conv_out(spatial, 2, 2, 0)
+        channels = filters
+    layers.append(Flatten())
+    features = channels * spatial * spatial
+    for width in hidden:
+        layers.append(Dense(features, width, rng, init="he"))
+        layers.append(ReLU())
+        features = width
+    layers.append(Dense(features, num_classes, rng))
+    return Classifier(Sequential(layers))
+
+
+def build_logistic_regression(
+    rng: np.random.Generator, *, in_features: int = 60, num_classes: int = 10
+) -> Classifier:
+    """Multinomial logistic regression, the FedProx synthetic-data model."""
+    return Classifier(Sequential([Dense(in_features, num_classes, rng)]))
+
+
+def build_mlp(
+    rng: np.random.Generator,
+    *,
+    in_features: int,
+    hidden: tuple[int, ...] = (32,),
+    num_classes: int = 10,
+) -> Classifier:
+    """Generic MLP; flattens any input shape, handy for tests and demos."""
+    layers: list = [Flatten()]
+    features = in_features
+    for width in hidden:
+        layers.append(Dense(features, width, rng, init="he"))
+        layers.append(ReLU())
+        features = width
+    layers.append(Dense(features, num_classes, rng))
+    return Classifier(Sequential(layers))

@@ -1,0 +1,23 @@
+"""Poisoning attacks and robustness metrics (Sections 4.4 and 5.3.4)."""
+
+from repro.poisoning.attacks import (
+    flip_labels_array,
+    poison_dataset_label_flip,
+    random_weight_update,
+)
+from repro.poisoning.evaluation import (
+    count_approved_poisoned,
+    flipped_prediction_rate,
+    network_flipped_prediction_rate,
+    poisoned_cluster_distribution,
+)
+
+__all__ = [
+    "flip_labels_array",
+    "poison_dataset_label_flip",
+    "random_weight_update",
+    "flipped_prediction_rate",
+    "network_flipped_prediction_rate",
+    "count_approved_poisoned",
+    "poisoned_cluster_distribution",
+]

@@ -1,0 +1,92 @@
+"""Attack implementations.
+
+The paper adopts the threat model of Schmid et al.: (a) random-weight
+updates and (b) flipped-label training data.  Its main study is the
+flipped-label scenario where "an attacker is able to manipulate the labels
+in the dataset of one or many clients, e.g. by installing forged sensing
+hardware" — the affected clients keep participating honestly, but both
+their training *and test* data carry swapped labels for one class pair.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.data.base import FederatedDataset
+from repro.nn.serialization import Weights
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["flip_labels_array", "poison_dataset_label_flip", "random_weight_update"]
+
+
+def flip_labels_array(
+    labels: np.ndarray, class_a: int, class_b: int
+) -> np.ndarray:
+    """Return a copy of ``labels`` with the two classes swapped."""
+    if class_a == class_b:
+        raise ValueError("class_a and class_b must differ")
+    flipped = labels.copy()
+    mask_a = labels == class_a
+    mask_b = labels == class_b
+    flipped[mask_a] = class_b
+    flipped[mask_b] = class_a
+    return flipped
+
+
+def poison_dataset_label_flip(
+    dataset: FederatedDataset,
+    *,
+    class_a: int = 3,
+    class_b: int = 8,
+    poisoned_fraction: float = 0.2,
+    seed: int | np.random.Generator = 0,
+) -> tuple[FederatedDataset, set[int]]:
+    """Flip ``class_a <-> class_b`` for a random fraction of clients.
+
+    Returns a *new* dataset (clients deep-copied) and the set of poisoned
+    client ids.  Original labels are preserved in each poisoned client's
+    metadata (``y_train_original``/``y_test_original``) so evaluation can
+    measure mispredictions w.r.t. ground truth; the client metadata also
+    gains ``tags={"poisoned": True}`` which the simulator copies onto
+    published transactions (evaluation-only bookkeeping — the protocol
+    itself never reads it).
+    """
+    check_probability("poisoned_fraction", poisoned_fraction)
+    rng = ensure_rng(seed)
+    n_poisoned = int(round(dataset.num_clients * poisoned_fraction))
+    ids = sorted(c.client_id for c in dataset.clients)
+    poisoned_ids = set(
+        int(i) for i in rng.choice(ids, size=n_poisoned, replace=False)
+    ) if n_poisoned else set()
+
+    new_clients = []
+    for client in dataset.clients:
+        clone = copy.deepcopy(client)
+        if client.client_id in poisoned_ids:
+            clone.metadata["y_train_original"] = client.y_train.copy()
+            clone.metadata["y_test_original"] = client.y_test.copy()
+            clone.y_train = flip_labels_array(clone.y_train, class_a, class_b)
+            clone.y_test = flip_labels_array(clone.y_test, class_a, class_b)
+            clone.metadata["tags"] = {"poisoned": True}
+        new_clients.append(clone)
+    poisoned = FederatedDataset(
+        name=f"{dataset.name}-poisoned",
+        num_classes=dataset.num_classes,
+        num_clusters=dataset.num_clusters,
+        clients=new_clients,
+    )
+    return poisoned, poisoned_ids
+
+
+def random_weight_update(
+    reference: Weights, rng: np.random.Generator, *, scale: float = 1.0
+) -> Weights:
+    """A random-weights attack payload with the right shapes.
+
+    Models the first attack of the threat model: submitting weights drawn
+    from a normal distribution instead of trained ones.
+    """
+    return [rng.normal(0.0, scale, size=w.shape) for w in reference]

@@ -1,0 +1,118 @@
+"""Poisoning-robustness metrics (Figures 12, 13, 14)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.tangle import Tangle
+from repro.data.base import ClientData
+from repro.nn.model import Classifier
+from repro.nn.serialization import Weights
+
+__all__ = [
+    "flipped_prediction_rate",
+    "network_flipped_prediction_rate",
+    "count_approved_poisoned",
+    "poisoned_cluster_distribution",
+]
+
+
+def _true_test_labels(client: ClientData) -> np.ndarray:
+    """Ground-truth test labels (pre-flip for poisoned clients)."""
+    original = client.metadata.get("y_test_original")
+    return original if original is not None else client.y_test
+
+
+def flipped_prediction_rate(
+    model: Classifier,
+    weights: Weights,
+    client: ClientData,
+    *,
+    class_a: int = 3,
+    class_b: int = 8,
+) -> float:
+    """Fraction of a client's {a, b}-class test samples flipped by a model.
+
+    Measured against ground-truth labels: a true-``a`` sample predicted as
+    ``b`` (or vice versa) counts as flipped.  NaN when the client's test
+    set holds no samples of either class.
+    """
+    labels = _true_test_labels(client)
+    mask = (labels == class_a) | (labels == class_b)
+    if not mask.any():
+        return float("nan")
+    model.set_weights(weights)
+    predictions = model.predict(client.x_test[mask])
+    truth = labels[mask]
+    flipped = ((truth == class_a) & (predictions == class_b)) | (
+        (truth == class_b) & (predictions == class_a)
+    )
+    return float(flipped.mean())
+
+
+def network_flipped_prediction_rate(
+    model: Classifier,
+    reference_weights: dict[int, Weights],
+    clients: dict[int, ClientData],
+    *,
+    class_a: int = 3,
+    class_b: int = 8,
+) -> float:
+    """Mean flipped-prediction rate over clients (Figure 12's y-axis).
+
+    ``reference_weights`` maps client id -> the weights of the reference
+    transaction that client selected from the DAG.  Clients without
+    relevant test samples are skipped.
+    """
+    rates = []
+    for client_id, weights in reference_weights.items():
+        rate = flipped_prediction_rate(
+            model, weights, clients[client_id], class_a=class_a, class_b=class_b
+        )
+        if not np.isnan(rate):
+            rates.append(rate)
+    if not rates:
+        return float("nan")
+    return float(np.mean(rates))
+
+
+def count_approved_poisoned(
+    tangle: Tangle, reference_tx_id: str, poisoned_clients: set[int]
+) -> int:
+    """Poisoned transactions in the reference's past cone (Figure 13).
+
+    Counts the reference itself too when its issuer is poisoned: the
+    paper counts poisoned updates "included in the reference transactions
+    by direct or indirect approvals".
+    """
+    count = 0
+    reference = tangle.get(reference_tx_id)
+    if reference.issuer in poisoned_clients:
+        count += 1
+    for tx_id in tangle.past_cone(reference_tx_id):
+        if tangle.get(tx_id).issuer in poisoned_clients:
+            count += 1
+    return count
+
+
+def poisoned_cluster_distribution(
+    partition: dict[int, int], poisoned_clients: set[int]
+) -> list[dict[str, int]]:
+    """Per inferred cluster, how many members are benign vs poisoned.
+
+    The Figure 14 histogram: sorted by cluster id; each entry reports
+    ``{"cluster", "benign", "poisoned"}``.
+    """
+    clusters = sorted(set(partition.values()))
+    rows = []
+    for cluster in clusters:
+        members = [c for c, comm in partition.items() if comm == cluster]
+        poisoned = sum(1 for m in members if m in poisoned_clients)
+        rows.append(
+            {
+                "cluster": int(cluster),
+                "benign": len(members) - poisoned,
+                "poisoned": poisoned,
+            }
+        )
+    return rows

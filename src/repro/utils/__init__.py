@@ -1,0 +1,14 @@
+"""Shared utilities: seeded RNG streams, timers, and light validation."""
+
+from repro.utils.rng import RngFactory, child_rng, ensure_rng
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "RngFactory",
+    "child_rng",
+    "ensure_rng",
+    "Stopwatch",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,52 @@
+"""Wall-clock measurement helpers used by the scalability experiments."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    Used to measure the duration of random walks (Figure 15).  Supports use
+    as a context manager; ``elapsed`` accumulates over repeated uses so a
+    single stopwatch can total many walk segments.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps: list[float] = []
+        self._start: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:
+            return
+        lap = time.perf_counter() - self._start
+        self.elapsed += lap
+        self.laps.append(lap)
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time and lap history."""
+        self.elapsed = 0.0
+        self.laps = []
+        self._start = None
+
+    @property
+    def mean_lap(self) -> float:
+        """Mean duration of recorded laps (0.0 when no laps recorded)."""
+        if not self.laps:
+            return 0.0
+        return self.elapsed / len(self.laps)

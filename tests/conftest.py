@@ -1,0 +1,70 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_fmnist_clustered
+from repro.fl import DagConfig, TangleLearning, TrainingConfig
+from repro.nn import zoo
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_fmnist():
+    """A 6-client, 2-cluster FMNIST-clustered federation (session-cached)."""
+    return make_fmnist_clustered(
+        num_clients=6,
+        samples_per_client=24,
+        image_size=10,
+        clusters=((0, 1), (7, 8)),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def mlp_builder():
+    """An MLP builder for 10x10 single-channel images (fast)."""
+    return lambda rng: zoo.build_mlp(
+        rng, in_features=100, hidden=(16,), num_classes=10
+    )
+
+
+@pytest.fixture
+def fast_train_config() -> TrainingConfig:
+    return TrainingConfig(
+        local_epochs=1, local_batches=3, batch_size=8, learning_rate=0.1
+    )
+
+
+@pytest.fixture
+def small_sim(tiny_fmnist, mlp_builder, fast_train_config) -> TangleLearning:
+    """A small DAG simulator, not yet run."""
+    return TangleLearning(
+        tiny_fmnist,
+        mlp_builder,
+        fast_train_config,
+        DagConfig(alpha=10.0, depth_range=(2, 5)),
+        clients_per_round=4,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def ran_sim(tiny_fmnist, mlp_builder):
+    """A DAG simulator after 6 rounds (session-cached for metric tests)."""
+    sim = TangleLearning(
+        tiny_fmnist,
+        mlp_builder,
+        TrainingConfig(local_epochs=1, local_batches=3, batch_size=8, learning_rate=0.1),
+        DagConfig(alpha=10.0, depth_range=(2, 5)),
+        clients_per_round=4,
+        seed=0,
+    )
+    sim.run(6)
+    return sim

@@ -1,0 +1,101 @@
+"""Tangle persistence and export."""
+
+import numpy as np
+import pytest
+
+from repro.dag import (
+    Tangle,
+    Transaction,
+    load_tangle,
+    save_tangle,
+    tangle_statistics,
+    to_dot,
+    to_networkx,
+)
+from repro.dag.transaction import GENESIS_ID
+
+
+@pytest.fixture
+def tangle(rng):
+    t = Tangle([rng.normal(size=(3, 2)), rng.normal(size=2)])
+    t.add(
+        Transaction(
+            "a", (GENESIS_ID,), [rng.normal(size=(3, 2)), rng.normal(size=2)], 0, 0,
+            tags={"poisoned": True},
+        )
+    )
+    t.add(
+        Transaction(
+            "b", (GENESIS_ID, "a"), [rng.normal(size=(3, 2)), rng.normal(size=2)], 1, 1
+        )
+    )
+    return t
+
+
+def test_save_load_roundtrip(tangle, tmp_path):
+    path = save_tangle(tangle, tmp_path / "t.npz")
+    loaded = load_tangle(path)
+    assert len(loaded) == len(tangle)
+    for original in tangle.transactions():
+        restored = loaded.get(original.tx_id)
+        assert restored.parents == original.parents
+        assert restored.issuer == original.issuer
+        assert restored.round_index == original.round_index
+        assert restored.tags == original.tags
+        for a, b in zip(restored.model_weights, original.model_weights):
+            np.testing.assert_array_equal(a, b)
+
+
+def test_save_appends_npz_suffix(tangle, tmp_path):
+    path = save_tangle(tangle, tmp_path / "mytangle")
+    assert path.suffix == ".npz"
+    assert path.exists()
+
+
+def test_load_rejects_foreign_npz(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez(path, x=np.zeros(3))
+    with pytest.raises(ValueError, match="not a saved tangle"):
+        load_tangle(path)
+
+
+def test_loaded_tangle_usable(tangle, tmp_path, rng):
+    loaded = load_tangle(save_tangle(tangle, tmp_path / "t"))
+    assert loaded.tips() == ["b"]
+    loaded.add(
+        Transaction("c", ("b",), loaded.get("b").model_weights, 2, 2)
+    )
+    assert loaded.tips() == ["c"]
+
+
+def test_to_networkx(tangle):
+    graph = to_networkx(tangle)
+    assert graph.number_of_nodes() == 3
+    assert graph.has_edge("b", "a")
+    assert graph.has_edge("a", GENESIS_ID)
+    assert graph.nodes["a"]["poisoned"] is True
+    assert graph.nodes["b"]["is_tip"] is True
+
+
+def test_to_networkx_is_dag(tangle):
+    import networkx as nx
+
+    assert nx.is_directed_acyclic_graph(to_networkx(tangle))
+
+
+def test_to_dot_renders_all_nodes_and_edges(tangle):
+    dot = to_dot(tangle, cluster_labels={0: 0, 1: 1})
+    assert dot.startswith("digraph tangle {")
+    assert '"a"' in dot and '"b"' in dot
+    assert '"b" -> "a";' in dot
+    assert "lightblue" in dot and "lightcoral" in dot  # cluster colors
+
+
+def test_statistics(tangle):
+    stats = tangle_statistics(tangle)
+    assert stats["transactions"] == 2
+    assert stats["tips"] == 1
+    assert stats["rounds"] == 2
+    assert stats["max_width"] == 1
+    assert stats["distinct_issuers"] == 2
+    assert stats["max_approvers"] == 2  # genesis has two approvers

@@ -1,0 +1,91 @@
+"""Walk-start sampling and the generic random walk."""
+
+import numpy as np
+import pytest
+
+from repro.dag.random_walk import random_walk, sample_walk_start
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+
+
+def weights():
+    return [np.zeros(1)]
+
+
+def chain_tangle(length=30):
+    """A linear chain: genesis <- t0 <- t1 <- ... (single tip)."""
+    t = Tangle(weights())
+    prev = GENESIS_ID
+    for i in range(length):
+        tx = Transaction(f"t{i}", (prev,), weights(), 0, i)
+        t.add(tx)
+        prev = tx.tx_id
+    return t
+
+
+def test_walk_start_depth_window(rng):
+    tangle = chain_tangle(40)
+    start = sample_walk_start(tangle, rng, depth_range=(15, 25))
+    # on a chain, depth below the single tip t39 is the index difference
+    index = int(start[1:]) if start != GENESIS_ID else -1
+    depth = 39 - index
+    assert 15 <= depth <= 25
+
+
+def test_walk_start_clamps_at_genesis(rng):
+    tangle = chain_tangle(5)
+    start = sample_walk_start(tangle, rng, depth_range=(15, 25))
+    assert start == GENESIS_ID
+
+
+def test_walk_start_zero_depth_is_tip(rng):
+    tangle = chain_tangle(10)
+    assert sample_walk_start(tangle, rng, depth_range=(0, 0)) == "t9"
+
+
+def test_walk_start_validation(rng):
+    tangle = chain_tangle(3)
+    with pytest.raises(ValueError):
+        sample_walk_start(tangle, rng, depth_range=(5, 2))
+    with pytest.raises(ValueError):
+        sample_walk_start(tangle, rng, depth_range=(-1, 2))
+
+
+def test_random_walk_reaches_tip(rng):
+    tangle = chain_tangle(20)
+
+    def first(_node, approvers, _rng):
+        return approvers[0]
+
+    assert random_walk(tangle, GENESIS_ID, first, rng) == "t19"
+
+
+def test_random_walk_from_tip_returns_it(rng):
+    tangle = chain_tangle(5)
+    assert random_walk(tangle, "t4", lambda *_: None, rng) == "t4"
+
+
+def test_random_walk_unknown_start_falls_back_to_genesis(rng):
+    tangle = chain_tangle(5)
+
+    def first(_node, approvers, _rng):
+        return approvers[0]
+
+    assert random_walk(tangle, "missing", first, rng) == "t4"
+
+
+def test_step_callback_sees_every_decision(rng):
+    tangle = chain_tangle(10)
+    visited = []
+
+    def first(_node, approvers, _rng):
+        return approvers[0]
+
+    random_walk(
+        tangle,
+        GENESIS_ID,
+        first,
+        rng,
+        step_callback=lambda node, approvers: visited.append(node),
+    )
+    assert len(visited) == 10  # genesis + t0..t8 each have one approver

@@ -1,0 +1,114 @@
+"""Tangle: structure, tips, cones, weights."""
+
+import numpy as np
+import pytest
+
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+
+
+def weights():
+    return [np.zeros(2)]
+
+
+def tx(tx_id, parents, issuer=0, round_index=0):
+    return Transaction(tx_id, tuple(parents), weights(), issuer, round_index)
+
+
+@pytest.fixture
+def tangle():
+    """genesis <- a <- b, genesis <- c; d approves (b, c)."""
+    t = Tangle(weights())
+    t.add(tx("a", [GENESIS_ID]))
+    t.add(tx("b", ["a"]))
+    t.add(tx("c", [GENESIS_ID], issuer=1))
+    t.add(tx("d", ["b", "c"], issuer=2))
+    return t
+
+
+def test_new_tangle_has_genesis_tip():
+    t = Tangle(weights())
+    assert t.tips() == [GENESIS_ID]
+    assert len(t) == 1
+    assert t.genesis.is_genesis
+
+
+def test_tips_update_on_add(tangle):
+    assert tangle.tips() == ["d"]
+
+
+def test_contains_and_get(tangle):
+    assert "a" in tangle
+    assert tangle.get("a").tx_id == "a"
+    with pytest.raises(KeyError):
+        tangle.get("missing")
+
+
+def test_add_rejects_unknown_parent():
+    t = Tangle(weights())
+    with pytest.raises(ValueError, match="unknown parent"):
+        t.add(tx("x", ["nope"]))
+
+
+def test_add_rejects_duplicate_id(tangle):
+    with pytest.raises(ValueError, match="duplicate"):
+        tangle.add(tx("a", [GENESIS_ID]))
+
+
+def test_add_rejects_second_genesis():
+    t = Tangle(weights())
+    with pytest.raises(ValueError, match="genesis"):
+        t.add(Transaction("g2", (), weights(), 0, 0))
+
+
+def test_approvers_direction(tangle):
+    assert set(tangle.approvers(GENESIS_ID)) == {"a", "c"}
+    assert tangle.approvers("b") == ["d"]
+    assert tangle.approvers("d") == []
+
+
+def test_future_cone(tangle):
+    assert tangle.future_cone(GENESIS_ID) == {"a", "b", "c", "d"}
+    assert tangle.future_cone("a") == {"b", "d"}
+    assert tangle.future_cone("d") == set()
+
+
+def test_past_cone(tangle):
+    assert tangle.past_cone("d") == {"b", "c", "a", GENESIS_ID}
+    assert tangle.past_cone("a") == {GENESIS_ID}
+    assert tangle.past_cone(GENESIS_ID) == set()
+
+
+def test_cumulative_weight(tangle):
+    assert tangle.cumulative_weight("d") == 1
+    assert tangle.cumulative_weight("b") == 2
+    assert tangle.cumulative_weight("a") == 3
+    assert tangle.cumulative_weight(GENESIS_ID) == 5
+
+
+def test_depth_from_tips(tangle):
+    assert tangle.depth_from_tips("d") == 0
+    assert tangle.depth_from_tips("b") == 1
+    assert tangle.depth_from_tips(GENESIS_ID) == 2  # via c -> d
+
+
+def test_transactions_in_topological_order(tangle):
+    order = [t.tx_id for t in tangle.transactions()]
+    assert order.index(GENESIS_ID) < order.index("a") < order.index("b")
+    assert order.index("b") < order.index("d")
+
+
+def test_approval_edges_exclude_genesis(tangle):
+    edges = {(a.tx_id, b.tx_id) for a, b in tangle.approval_edges()}
+    assert edges == {("b", "a"), ("d", "b"), ("d", "c")}
+
+
+def test_next_tx_id_unique(tangle):
+    ids = {tangle.next_tx_id(0) for _ in range(50)}
+    assert len(ids) == 50
+
+
+def test_acyclicity_by_construction(tangle):
+    """No transaction can appear in its own past cone."""
+    for transaction in tangle.transactions():
+        assert transaction.tx_id not in tangle.past_cone(transaction.tx_id)

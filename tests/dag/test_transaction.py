@@ -1,0 +1,43 @@
+"""Transaction invariants."""
+
+import numpy as np
+import pytest
+
+from repro.dag.transaction import GENESIS_ID, Transaction
+
+
+def make_tx(tx_id="t1", parents=("genesis",)):
+    return Transaction(
+        tx_id=tx_id,
+        parents=tuple(parents),
+        model_weights=[np.zeros(3)],
+        issuer=0,
+        round_index=0,
+    )
+
+
+def test_genesis_detection():
+    genesis = Transaction(GENESIS_ID, (), [np.zeros(2)], -1, -1)
+    assert genesis.is_genesis
+    assert not make_tx().is_genesis
+
+
+def test_rejects_duplicate_parents():
+    with pytest.raises(ValueError, match="duplicate parents"):
+        make_tx(parents=("a", "a"))
+
+
+def test_rejects_self_approval():
+    with pytest.raises(ValueError, match="approve itself"):
+        make_tx(tx_id="x", parents=("x",))
+
+
+def test_tags_default_empty():
+    assert make_tx().tags == {}
+
+
+def test_tags_are_instance_local():
+    a = make_tx("a")
+    b = make_tx("b")
+    a.tags["poisoned"] = True
+    assert b.tags == {}

@@ -1,0 +1,80 @@
+"""TangleView: round-bounded visibility."""
+
+import numpy as np
+import pytest
+
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.dag.view import TangleView
+
+
+def w():
+    return [np.zeros(1)]
+
+
+@pytest.fixture
+def tangle():
+    t = Tangle(w())
+    t.add(Transaction("r0a", (GENESIS_ID,), w(), 0, 0))
+    t.add(Transaction("r0b", (GENESIS_ID,), w(), 1, 0))
+    t.add(Transaction("r1", ("r0a", "r0b"), w(), 2, 1))
+    t.add(Transaction("r2", ("r1",), w(), 0, 2))
+    return t
+
+
+def test_view_hides_future_rounds(tangle):
+    view = TangleView(tangle, 0)
+    assert "r0a" in view
+    assert "r1" not in view
+    assert len(view) == 3  # genesis + two round-0 txs
+
+
+def test_view_tips_are_unapproved_within_view(tangle):
+    assert TangleView(tangle, 0).tips() == ["r0a", "r0b"]
+    assert TangleView(tangle, 1).tips() == ["r1"]
+    assert TangleView(tangle, 2).tips() == ["r2"]
+
+
+def test_view_get_raises_for_hidden(tangle):
+    view = TangleView(tangle, 0)
+    with pytest.raises(KeyError, match="not visible"):
+        view.get("r1")
+
+
+def test_view_approvers_filtered(tangle):
+    assert TangleView(tangle, 0).approvers("r0a") == []
+    assert TangleView(tangle, 1).approvers("r0a") == ["r1"]
+
+
+def test_genesis_always_visible(tangle):
+    view = TangleView(tangle, -5)
+    assert GENESIS_ID in view
+    assert view.tips() == [GENESIS_ID]
+
+
+def test_view_cumulative_weight(tangle):
+    assert TangleView(tangle, 2).cumulative_weight("r0a") == 3  # self + r1 + r2
+    assert TangleView(tangle, 1).cumulative_weight("r0a") == 2
+    assert TangleView(tangle, 0).cumulative_weight("r0a") == 1
+
+
+def test_view_is_tip(tangle):
+    view = TangleView(tangle, 0)
+    assert view.is_tip("r0a")
+    assert not view.is_tip(GENESIS_ID)
+    assert not view.is_tip("r1")  # hidden
+
+
+def test_view_approval_edges(tangle):
+    edges = {
+        (a.tx_id, b.tx_id) for a, b in TangleView(tangle, 1).approval_edges()
+    }
+    assert edges == {("r1", "r0a"), ("r1", "r0b")}
+
+
+def test_view_works_with_selectors(tangle, rng):
+    from repro.dag.tip_selection import RandomTipSelector
+
+    view = TangleView(tangle, 0)
+    tips = RandomTipSelector().select_tips(view, 2, rng)
+    assert set(tips) <= {"r0a", "r0b"}

@@ -1,0 +1,112 @@
+"""Poets dataset: Markov generator, vocabulary, encoding, federation."""
+
+import numpy as np
+import pytest
+
+from repro.data.poets import (
+    GOETHE_SEED,
+    SHAKESPEARE_SEED,
+    MarkovTextGenerator,
+    build_vocabulary,
+    encode_text,
+    make_poets,
+)
+
+
+def test_seed_texts_are_disjoint_languages():
+    # German exclusive characters mark the cluster separation
+    for ch in "äöüß":
+        assert ch in GOETHE_SEED
+        assert ch not in SHAKESPEARE_SEED
+
+
+def test_markov_generates_requested_length(rng):
+    gen = MarkovTextGenerator(SHAKESPEARE_SEED)
+    text = gen.generate(500, rng)
+    assert len(text) == 500
+
+
+def test_markov_output_uses_seed_charset(rng):
+    gen = MarkovTextGenerator(GOETHE_SEED)
+    text = gen.generate(300, rng)
+    assert set(text) <= set(GOETHE_SEED)
+
+
+def test_markov_respects_bigram_support(rng):
+    """Every generated trigram must occur in the seed (order-2 chain),
+    except across restart boundaries."""
+    gen = MarkovTextGenerator(SHAKESPEARE_SEED, order=2)
+    text = gen.generate(200, rng)
+    hits = sum(1 for i in range(len(text) - 2) if text[i : i + 3] in SHAKESPEARE_SEED)
+    assert hits > 0.9 * (len(text) - 2)
+
+
+def test_markov_validation():
+    with pytest.raises(ValueError):
+        MarkovTextGenerator("ab", order=2)
+    with pytest.raises(ValueError):
+        MarkovTextGenerator(SHAKESPEARE_SEED, order=0)
+
+
+def test_vocabulary_sorted_and_complete():
+    vocab = build_vocabulary(["ba", "cd"])
+    assert vocab == {"a": 0, "b": 1, "c": 2, "d": 3}
+
+
+def test_encode_text_windows():
+    vocab = {"a": 0, "b": 1, "c": 2}
+    x, y = encode_text("abcab", vocab, seq_len=2)
+    assert x.shape == (3, 2)
+    np.testing.assert_array_equal(x[0], [0, 1])
+    np.testing.assert_array_equal(y, [2, 0, 1])
+
+
+def test_encode_rejects_short_text():
+    with pytest.raises(ValueError):
+        encode_text("ab", {"a": 0, "b": 1}, seq_len=5)
+
+
+def test_make_poets_two_language_clusters():
+    ds = make_poets(num_clients=6, samples_per_client=80, seq_len=10, seed=0)
+    assert ds.num_clusters == 2
+    languages = {c.cluster_id: c.metadata["language"] for c in ds.clients}
+    assert languages == {0: "en", 1: "de"}
+
+
+def test_poets_equal_language_split():
+    ds = make_poets(num_clients=8, samples_per_client=50, seq_len=8, seed=0)
+    counts = np.bincount([c.cluster_id for c in ds.clients])
+    assert counts.tolist() == [4, 4]
+
+
+def test_poets_tokens_in_vocab_range():
+    ds = make_poets(num_clients=4, samples_per_client=60, seq_len=8, seed=0)
+    for client in ds.clients:
+        assert client.x_train.max() < ds.num_classes
+        assert client.x_train.min() >= 0
+        assert client.y_train.max() < ds.num_classes
+
+
+def test_poets_deterministic():
+    a = make_poets(num_clients=4, samples_per_client=40, seq_len=8, seed=9)
+    b = make_poets(num_clients=4, samples_per_client=40, seq_len=8, seed=9)
+    np.testing.assert_array_equal(a.clients[2].x_train, b.clients[2].x_train)
+
+
+def test_poets_german_clients_use_umlauts():
+    ds = make_poets(num_clients=4, samples_per_client=400, seq_len=8, seed=0)
+    vocab = ds.vocab
+    umlaut_ids = {vocab[ch] for ch in "äöüß" if ch in vocab}
+    assert umlaut_ids
+    for client in ds.clients:
+        tokens = set(client.x_train.reshape(-1).tolist())
+        has_umlauts = bool(tokens & umlaut_ids)
+        if client.cluster_id == 1:
+            assert has_umlauts
+        else:
+            assert not has_umlauts
+
+
+def test_poets_needs_two_clients():
+    with pytest.raises(ValueError):
+        make_poets(num_clients=1, samples_per_client=40, seed=0)

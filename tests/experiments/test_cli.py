@@ -1,0 +1,37 @@
+"""The python -m repro.experiments command line."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out
+    assert "table2" in out
+
+
+def test_run_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_run_writes_result(tmp_path, capsys, monkeypatch):
+    # micro-experiment through the real CLI path: ablation-num-tips at smoke
+    # is too slow for a unit test, so monkeypatch the registry entry.
+    from repro.experiments import __main__ as cli
+
+    def fake_runner(scale, seed=0):
+        return {"experiment": "fig6", "scale": scale.name, "value": seed + 1}
+
+    # cli.EXPERIMENTS is the same dict object as registry.EXPERIMENTS
+    monkeypatch.setitem(cli.EXPERIMENTS, "fig6", fake_runner)
+    code = main(["run", "fig6", "--scale", "smoke", "--seed", "3", "--out", str(tmp_path)])
+    assert code == 0
+    result_path = tmp_path / "fig6-smoke-seed3.json"
+    data = json.loads(result_path.read_text())
+    assert data["value"] == 4
+    assert "elapsed_seconds" in data

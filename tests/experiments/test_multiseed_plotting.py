@@ -1,0 +1,141 @@
+"""Multi-seed aggregation and SVG plotting."""
+
+import math
+
+import pytest
+
+from repro.experiments.multiseed import aggregate_results, run_multiseed
+from repro.experiments.plotting import line_chart, save_line_chart
+
+
+# ------------------------------------------------------------- aggregation
+def test_aggregate_scalars():
+    merged = aggregate_results([{"x": 1.0}, {"x": 3.0}])
+    assert merged["x"]["mean"] == 2.0
+    assert merged["x"]["std"] == 1.0
+    assert merged["x"]["min"] == 1.0
+    assert merged["x"]["max"] == 3.0
+    assert merged["x"]["values"] == [1.0, 3.0]
+
+
+def test_aggregate_series_elementwise():
+    merged = aggregate_results([{"acc": [0.0, 1.0]}, {"acc": [1.0, 1.0]}])
+    assert merged["acc"]["mean"] == [0.5, 1.0]
+    assert merged["acc"]["std"] == [0.5, 0.0]
+
+
+def test_aggregate_series_truncates_to_shortest():
+    merged = aggregate_results([{"acc": [1.0, 2.0, 3.0]}, {"acc": [1.0, 2.0]}])
+    assert len(merged["acc"]["mean"]) == 2
+
+
+def test_aggregate_nested_dicts():
+    merged = aggregate_results(
+        [{"variants": {"a": {"score": 1.0}}}, {"variants": {"a": {"score": 2.0}}}]
+    )
+    assert merged["variants"]["a"]["score"]["mean"] == 1.5
+
+
+def test_aggregate_identical_non_numeric_kept():
+    merged = aggregate_results([{"name": "fig6"}, {"name": "fig6"}])
+    assert merged["name"] == "fig6"
+
+
+def test_aggregate_differing_non_numeric_collected():
+    merged = aggregate_results([{"tag": "a"}, {"tag": "b"}])
+    assert merged["tag"] == {"values": ["a", "b"]}
+
+
+def test_aggregate_structure_mismatch_raises():
+    with pytest.raises(ValueError, match="differing structure"):
+        aggregate_results([{"a": 1}, {"b": 1}])
+
+
+def test_aggregate_empty_raises():
+    with pytest.raises(ValueError):
+        aggregate_results([])
+
+
+def test_run_multiseed_through_registry(monkeypatch):
+    from repro.experiments import registry
+
+    def fake_runner(scale, seed=0):
+        return {"score": float(seed), "series": [float(seed)] * 3}
+
+    monkeypatch.setitem(registry.EXPERIMENTS, "fake", fake_runner)
+    result = run_multiseed("fake", seeds=[1, 3])
+    assert result["seeds"] == [1, 3]
+    assert result["score"]["mean"] == 2.0
+    assert result["series"]["mean"] == [2.0, 2.0, 2.0]
+
+
+def test_run_multiseed_count_form(monkeypatch):
+    from repro.experiments import registry
+
+    calls = []
+
+    def fake_runner(scale, seed=0):
+        calls.append(seed)
+        return {"score": 1.0}
+
+    monkeypatch.setitem(registry.EXPERIMENTS, "fake", fake_runner)
+    run_multiseed("fake", seeds=2)
+    assert calls == [0, 1]
+
+
+def test_run_multiseed_validation():
+    with pytest.raises(ValueError):
+        run_multiseed("fig6", seeds=0)
+    with pytest.raises(ValueError):
+        run_multiseed("fig6", seeds=[])
+
+
+# ---------------------------------------------------------------- plotting
+def test_line_chart_is_valid_svg():
+    svg = line_chart({"a": [0.1, 0.5, 0.9], "b": [0.9, 0.5, 0.1]}, title="t")
+    assert svg.startswith("<svg")
+    assert svg.endswith("</svg>")
+    assert svg.count("<polyline") == 2
+    assert ">t</text>" in svg
+
+
+def test_line_chart_legend_contains_names():
+    svg = line_chart({"alpha=10": [0.0, 1.0]})
+    assert "alpha=10" in svg
+
+
+def test_line_chart_nan_breaks_polyline():
+    svg = line_chart({"a": [0.1, 0.2, math.nan, 0.4, 0.5]})
+    assert svg.count("<polyline") == 2  # gap splits into two segments
+
+
+def test_line_chart_constant_series_handled():
+    svg = line_chart({"flat": [0.5, 0.5, 0.5]})
+    assert "<polyline" in svg
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart({})
+    with pytest.raises(ValueError):
+        line_chart({"a": [math.nan, math.nan]})
+
+
+def test_save_line_chart(tmp_path):
+    path = save_line_chart({"a": [1.0, 2.0]}, tmp_path / "sub" / "chart.svg")
+    assert path.exists()
+    assert path.read_text().startswith("<svg")
+
+
+# --------------------------------------------------------------- CLI paths
+def test_collect_numeric_series_skips_metadata():
+    from repro.experiments.__main__ import collect_numeric_series
+
+    result = {
+        "seeds": [0, 1, 2],
+        "nested": {"accuracy": [0.1, 0.2], "metric_rounds": [1, 3]},
+        "scalar": 5,
+        "text": ["a", "b"],
+    }
+    series = collect_numeric_series(result)
+    assert series == {"nested.accuracy": [0.1, 0.2]}

@@ -1,0 +1,113 @@
+"""Markdown report generation."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import SUMMARIZERS, build_report, summarize_result
+
+
+def test_summarizers_cover_registry():
+    """Every registered experiment must have a report summarizer."""
+    from repro.experiments.registry import EXPERIMENTS
+
+    assert set(EXPERIMENTS) <= set(SUMMARIZERS)
+
+
+def test_summarize_table2():
+    result = {
+        "experiment": "table2",
+        "rows": {
+            "fmnist-clustered": {
+                "base_pureness": 1 / 3,
+                "pureness": 0.9,
+                "late_pureness": 0.95,
+            }
+        },
+    }
+    lines = summarize_result(result)
+    assert any("fmnist-clustered" in line and "0.900" in line for line in lines)
+
+
+def test_summarize_handles_multiseed_aggregates():
+    result = {
+        "experiment": "fig10_11",
+        "fedavg": {"accuracy": {"mean": [0.1, 0.2]}, "loss": {"mean": [2.0, 1.0]}},
+        "fedprox": {"accuracy": {"mean": [0.1, 0.2]}, "loss": {"mean": [2.0, 1.0]}},
+        "dag": {"accuracy": {"mean": [0.3, 0.4]}, "loss": {"mean": [1.0, 0.5]}},
+    }
+    lines = summarize_result(result)
+    assert any("dag" in line and "0.350" in line for line in lines)
+
+
+def test_summarize_unknown_experiment():
+    assert "no summarizer" in summarize_result({"experiment": "fig99"})[0]
+
+
+def test_build_report_from_directory(tmp_path):
+    result = {
+        "experiment": "comparison-gossip",
+        "scale": "smoke",
+        "gossip": {"final_accuracy": 0.5, "final_spread": 0.2},
+        "dag": {"final_accuracy": 0.8, "final_spread": 0.1},
+    }
+    (tmp_path / "comparison-gossip-smoke-seed0.json").write_text(json.dumps(result))
+    report = build_report(tmp_path)
+    assert "## comparison-gossip (scale smoke)" in report
+    assert "0.800" in report
+
+
+def test_build_report_skips_non_experiment_json(tmp_path):
+    (tmp_path / "junk.json").write_text(json.dumps({"foo": 1}))
+    (tmp_path / "ok.json").write_text(
+        json.dumps(
+            {
+                "experiment": "comparison-gossip",
+                "scale": "smoke",
+                "gossip": {"final_accuracy": 0.5, "final_spread": 0.2},
+                "dag": {"final_accuracy": 0.8, "final_spread": 0.1},
+            }
+        )
+    )
+    report = build_report(tmp_path)
+    assert report.count("##") == 1
+
+
+def test_build_report_empty_dir_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        build_report(tmp_path)
+
+
+def test_report_cli(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    (tmp_path / "r.json").write_text(
+        json.dumps(
+            {
+                "experiment": "comparison-gossip",
+                "scale": "smoke",
+                "gossip": {"final_accuracy": 0.5, "final_spread": 0.2},
+                "dag": {"final_accuracy": 0.8, "final_spread": 0.1},
+            }
+        )
+    )
+    assert main(["report", "--results", str(tmp_path)]) == 0
+    assert "comparison-gossip" in capsys.readouterr().out
+
+
+def test_report_cli_writes_file(tmp_path):
+    from repro.experiments.__main__ import main
+
+    (tmp_path / "r.json").write_text(
+        json.dumps(
+            {
+                "experiment": "comparison-gossip",
+                "scale": "smoke",
+                "gossip": {"final_accuracy": 0.5, "final_spread": 0.2},
+                "dag": {"final_accuracy": 0.8, "final_spread": 0.1},
+            }
+        )
+    )
+    out = tmp_path / "report.md"
+    assert main(["report", "--results", str(tmp_path), "--out", str(out)]) == 0
+    assert out.read_text().startswith("# Measured results")

@@ -1,0 +1,119 @@
+"""Experiment plumbing: dataset/model/config resolution and the registry."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.runner import (
+    build_dataset,
+    model_builder_for,
+    training_config_for,
+)
+from repro.experiments.scale import SCALES
+
+SMOKE = SCALES["smoke"]
+
+DATASET_NAMES = (
+    "fmnist-clustered",
+    "fmnist-relaxed",
+    "fmnist-by-writer",
+    "poets",
+    "cifar100",
+    "fedprox-synthetic",
+)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_build_dataset_all_names(name):
+    ds = build_dataset(name, SMOKE, seed=0)
+    assert ds.num_clients > 0
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_model_builder_produces_compatible_model(name):
+    import numpy as np
+
+    ds = build_dataset(name, SMOKE, seed=0)
+    builder = model_builder_for(name, SMOKE, ds)
+    model = builder(np.random.default_rng(0))
+    client = ds.clients[0]
+    logits = model.logits(client.x_test[:2])
+    assert logits.shape == (2, ds.num_classes)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_training_config_resolves(name):
+    config = training_config_for(name, SMOKE)
+    assert config.learning_rate > 0
+
+
+def test_build_dataset_unknown():
+    with pytest.raises(ValueError):
+        build_dataset("imagenet", SMOKE)
+
+
+def test_build_dataset_override_num_clients():
+    ds = build_dataset("fmnist-by-writer", SMOKE, seed=0, num_clients=4)
+    assert ds.num_clients == 4
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {
+        "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "fig10_11", "fig12_13_14", "fig15",
+    }
+    assert expected <= set(EXPERIMENTS)
+
+
+def test_registry_includes_ablations():
+    assert {
+        "ablation-tip-selection",
+        "ablation-publish-gate",
+        "ablation-num-tips",
+        "ablation-walk-depth",
+    } <= set(EXPERIMENTS)
+
+
+def test_get_experiment_unknown():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+def test_table1_fidelity_at_paper_scale():
+    """At paper scale the training configs must equal Table 1 exactly."""
+    paper = SCALES["paper"]
+    fmnist = training_config_for("fmnist-clustered", paper)
+    assert (fmnist.local_epochs, fmnist.local_batches, fmnist.batch_size,
+            fmnist.learning_rate) == (1, 10, 10, 0.05)
+    poets = training_config_for("poets", paper)
+    assert (poets.local_epochs, poets.local_batches, poets.learning_rate,
+            poets.momentum) == (1, 35, 0.8, 0.0)
+    cifar = training_config_for("cifar100", paper)
+    assert (cifar.local_epochs, cifar.local_batches, cifar.learning_rate) == (
+        5, 45, 0.01,
+    )
+
+
+def test_dag_config_for_poets_uses_profile_normalization():
+    from repro.experiments.runner import dag_config_for
+
+    cfg = dag_config_for("poets", SMOKE)
+    assert cfg.normalization == SMOKE.poets_normalization
+    assert cfg.alpha == 10.0
+
+
+def test_dag_config_for_other_datasets_standard():
+    from repro.experiments.runner import dag_config_for
+
+    assert dag_config_for("fmnist-clustered", SMOKE).normalization == "standard"
+
+
+def test_dag_config_for_overrides_win():
+    from repro.experiments.runner import dag_config_for
+
+    cfg = dag_config_for("poets", SMOKE, normalization="standard", alpha=3.0)
+    assert cfg.normalization == "standard"
+    assert cfg.alpha == 3.0
+
+
+def test_paper_profile_poets_normalization_is_standard():
+    assert SCALES["paper"].poets_normalization == "standard"

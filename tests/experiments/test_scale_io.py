@@ -1,0 +1,75 @@
+"""Scale profiles and result IO."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.io import save_result, write_series_csv
+from repro.experiments.scale import SCALES, resolve_scale
+
+
+def test_all_profiles_present():
+    assert set(SCALES) == {"smoke", "default", "paper"}
+
+
+def test_paper_profile_matches_table1():
+    paper = SCALES["paper"]
+    assert paper.rounds == 100
+    assert paper.clients_per_round == 10
+    assert paper.fmnist_local_batches == 10
+    assert paper.poets_local_batches == 35
+    assert paper.cifar_local_batches == 45
+    assert paper.cifar_local_epochs == 5
+    assert paper.poets_learning_rate == 0.8
+    assert paper.poets_momentum == 0.0
+    assert paper.model_size == "paper"
+    assert paper.cifar_superclasses == 20
+    assert paper.cifar_clients == 94
+
+
+def test_profiles_ordered_by_size():
+    assert SCALES["smoke"].rounds < SCALES["default"].rounds < SCALES["paper"].rounds
+
+
+def test_resolve_explicit():
+    assert resolve_scale("default").name == "default"
+
+
+def test_resolve_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "default")
+    assert resolve_scale().name == "default"
+
+
+def test_resolve_default_is_smoke(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert resolve_scale().name == "smoke"
+
+
+def test_resolve_unknown_raises():
+    with pytest.raises(ValueError, match="unknown scale"):
+        resolve_scale("gigantic")
+
+
+def test_save_result_roundtrip(tmp_path):
+    import numpy as np
+
+    result = {"b": [1, 2], "a": np.float64(0.5), "s": {3, 1}}
+    path = save_result(result, tmp_path / "sub" / "r.json")
+    loaded = json.loads(path.read_text())
+    assert loaded == {"a": 0.5, "b": [1, 2], "s": [1, 3]}
+
+
+def test_write_series_csv(tmp_path):
+    path = write_series_csv(
+        {"acc": [0.1, 0.2], "loss": [2.0, 1.0]}, tmp_path / "out.csv"
+    )
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "round,acc,loss"
+    assert lines[1] == "0,0.1,2.0"
+    assert lines[2] == "1,0.2,1.0"
+
+
+def test_write_series_csv_length_mismatch(tmp_path):
+    with pytest.raises(ValueError, match="lengths differ"):
+        write_series_csv({"a": [1], "b": [1, 2]}, tmp_path / "x.csv")

@@ -1,0 +1,98 @@
+"""Aggregation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import (
+    AGGREGATORS,
+    get_aggregator,
+    mean_aggregate,
+    median_aggregate,
+    trimmed_mean_aggregate,
+)
+
+
+def sets(*values):
+    """Weight sets of single 3-vectors from scalar rows."""
+    return [[np.array(v, dtype=np.float64)] for v in values]
+
+
+def test_mean_matches_numpy():
+    result = mean_aggregate(sets([1.0, 2.0, 3.0], [3.0, 4.0, 5.0]))
+    np.testing.assert_allclose(result[0], [2.0, 3.0, 4.0])
+
+
+def test_median_resists_outlier():
+    result = median_aggregate(
+        sets([1.0, 1.0, 1.0], [1.1, 0.9, 1.0], [1e6, -1e6, 1e6])
+    )
+    np.testing.assert_allclose(result[0], [1.1, 0.9, 1.0])
+
+
+def test_median_of_two_is_mean():
+    a = sets([0.0, 0.0], [2.0, 4.0])
+    np.testing.assert_allclose(median_aggregate(a)[0], mean_aggregate(a)[0])
+
+
+def test_trimmed_mean_drops_extremes():
+    result = trimmed_mean_aggregate(
+        sets([0.0], [1.0], [1.0], [1.0], [100.0]), trim_fraction=0.2
+    )
+    np.testing.assert_allclose(result[0], [1.0])
+
+
+def test_trimmed_mean_no_trim_possible_equals_mean():
+    a = sets([1.0], [3.0])
+    np.testing.assert_allclose(
+        trimmed_mean_aggregate(a, trim_fraction=0.4)[0], [2.0]
+    )
+
+
+def test_trimmed_mean_validation():
+    with pytest.raises(ValueError):
+        trimmed_mean_aggregate(sets([1.0]), trim_fraction=0.5)
+    with pytest.raises(ValueError):
+        trimmed_mean_aggregate([], trim_fraction=0.1)
+
+
+def test_all_aggregators_idempotent_on_identical_inputs(rng):
+    weights = [rng.normal(size=(3, 2)), rng.normal(size=2)]
+    copies = [[w.copy() for w in weights] for _ in range(4)]
+    for name, aggregate in AGGREGATORS.items():
+        result = aggregate(copies)
+        for a, b in zip(result, weights):
+            np.testing.assert_allclose(a, b, err_msg=name)
+
+
+def test_shape_mismatch_rejected():
+    bad = [[np.zeros(2)], [np.zeros(3)]]
+    with pytest.raises(ValueError):
+        median_aggregate(bad)
+    with pytest.raises(ValueError):
+        trimmed_mean_aggregate(bad)
+
+
+def test_get_aggregator():
+    assert get_aggregator("mean") is mean_aggregate
+    with pytest.raises(ValueError, match="unknown aggregator"):
+        get_aggregator("blockchain")
+
+
+def test_dag_config_validates_aggregator():
+    from repro.fl import DagConfig
+
+    DagConfig(aggregator="median")  # ok
+    with pytest.raises(ValueError, match="unknown aggregator"):
+        DagConfig(aggregator="nope")
+
+
+def test_simulation_with_median_aggregation(tiny_fmnist, mlp_builder, fast_train_config):
+    from repro.fl import DagConfig, TangleLearning
+
+    sim = TangleLearning(
+        tiny_fmnist, mlp_builder, fast_train_config,
+        DagConfig(alpha=10.0, num_tips=3, aggregator="median", depth_range=(2, 5)),
+        clients_per_round=4, seed=0,
+    )
+    records = sim.run(3)
+    assert records[-1].mean_accuracy >= 0.0

@@ -1,0 +1,141 @@
+"""Asynchronous event-driven simulator."""
+
+import numpy as np
+import pytest
+
+from repro.fl import AsyncTangleLearning, DagConfig, TrainingConfig
+from repro.fl.async_learning import TimedTangleView
+
+
+@pytest.fixture
+def async_sim(tiny_fmnist, mlp_builder, fast_train_config):
+    return AsyncTangleLearning(
+        tiny_fmnist, mlp_builder, fast_train_config,
+        DagConfig(alpha=10.0, depth_range=(2, 5)),
+        seed=0,
+        mean_think_time=1.0,
+        mean_train_time=1.0,
+        mean_propagation_delay=0.2,
+    )
+
+
+def test_events_are_time_ordered(async_sim):
+    events = async_sim.run_cycles(20)
+    times = [e.time for e in events]
+    assert times == sorted(times)
+
+
+def test_run_until_respects_horizon(async_sim):
+    events = async_sim.run_until(10.0)
+    assert all(e.time <= 10.0 for e in events)
+    assert async_sim.now >= 10.0
+
+
+def test_every_client_eventually_trains(async_sim):
+    events = async_sim.run_cycles(40)
+    assert {e.client_id for e in events} == set(async_sim.clients)
+
+
+def test_published_transactions_enter_tangle(async_sim):
+    events = async_sim.run_cycles(15)
+    published = [e for e in events if e.published]
+    assert published
+    for event in published:
+        assert event.tx_id in async_sim.tangle
+
+
+def test_propagation_delay_hides_fresh_transactions(
+    tiny_fmnist, mlp_builder, fast_train_config
+):
+    """With a huge propagation delay, nothing but genesis is ever visible,
+    so every transaction approves only genesis."""
+    sim = AsyncTangleLearning(
+        tiny_fmnist, mlp_builder, fast_train_config,
+        DagConfig(alpha=10.0, depth_range=(2, 5)),
+        seed=0,
+        mean_propagation_delay=1e9,
+    )
+    sim.run_cycles(12)
+    for tx in sim.tangle.transactions():
+        if tx.is_genesis:
+            continue
+        assert tx.parents == ("genesis",)
+
+
+def test_zero_delay_allows_chaining(tiny_fmnist, mlp_builder, fast_train_config):
+    sim = AsyncTangleLearning(
+        tiny_fmnist, mlp_builder, fast_train_config,
+        DagConfig(alpha=10.0, depth_range=(2, 5)),
+        seed=0,
+        mean_propagation_delay=0.0,
+        mean_think_time=2.0,
+        mean_train_time=0.1,
+    )
+    sim.run_cycles(25)
+    non_genesis_parents = [
+        p
+        for tx in sim.tangle.transactions()
+        for p in tx.parents
+        if p != "genesis"
+    ]
+    assert non_genesis_parents  # later txs build on earlier ones
+
+
+def test_accuracy_timeline_buckets(async_sim):
+    async_sim.run_until(8.0)
+    timeline = async_sim.accuracy_timeline(bucket=2.0)
+    assert timeline
+    times = [t for t, _ in timeline]
+    assert times == sorted(times)
+    assert all(0.0 <= acc <= 1.0 for _, acc in timeline)
+    with pytest.raises(ValueError):
+        async_sim.accuracy_timeline(bucket=0.0)
+
+
+def test_learning_progresses_asynchronously(async_sim):
+    events = async_sim.run_cycles(60)
+    early = float(np.mean([e.accuracy for e in events[:10]]))
+    late = float(np.mean([e.accuracy for e in events[-10:]]))
+    assert late > early
+
+
+def test_deterministic_under_seed(tiny_fmnist, mlp_builder, fast_train_config):
+    def run():
+        sim = AsyncTangleLearning(
+            tiny_fmnist, mlp_builder, fast_train_config,
+            DagConfig(alpha=10.0, depth_range=(2, 5)), seed=42,
+        )
+        events = sim.run_cycles(10)
+        return [(e.time, e.client_id, e.tx_id) for e in events]
+
+    assert run() == run()
+
+
+def test_parameter_validation(tiny_fmnist, mlp_builder, fast_train_config):
+    with pytest.raises(ValueError):
+        AsyncTangleLearning(
+            tiny_fmnist, mlp_builder, fast_train_config, seed=0, mean_think_time=0.0
+        )
+    with pytest.raises(ValueError):
+        AsyncTangleLearning(
+            tiny_fmnist, mlp_builder, fast_train_config, seed=0,
+            mean_propagation_delay=-1.0,
+        )
+
+
+def test_timed_view_visibility(rng):
+    from repro.dag.tangle import Tangle
+    from repro.dag.transaction import GENESIS_ID, Transaction
+
+    tangle = Tangle([np.zeros(1)])
+    tangle.add(Transaction("a", (GENESIS_ID,), [np.zeros(1)], 0, 0))
+    visible_from = {GENESIS_ID: 0.0, "a": 5.0}
+    early = TimedTangleView(tangle, visible_from, now=1.0)
+    late = TimedTangleView(tangle, visible_from, now=6.0)
+    assert "a" not in early
+    assert early.tips() == [GENESIS_ID]
+    assert "a" in late
+    assert late.tips() == ["a"]
+    assert late.cumulative_weight(GENESIS_ID) == 2
+    with pytest.raises(KeyError):
+        early.get("a")

@@ -1,0 +1,90 @@
+"""Client: training, evaluation, caching."""
+
+import numpy as np
+import pytest
+
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.fl import Client, TrainingConfig
+from repro.nn import zoo
+from repro.nn.serialization import weights_allclose
+
+
+@pytest.fixture
+def client(tiny_fmnist, mlp_builder):
+    model = mlp_builder(np.random.default_rng(0))
+    config = TrainingConfig(local_epochs=1, local_batches=3, batch_size=8, learning_rate=0.1)
+    return Client(tiny_fmnist.clients[0], model, config, rng=1)
+
+
+def test_evaluate_weights_returns_loss_and_accuracy(client):
+    loss, acc = client.evaluate_weights(client.model.get_weights())
+    assert loss > 0 and 0.0 <= acc <= 1.0
+
+
+def test_train_returns_new_weights(client):
+    start = client.model.get_weights()
+    trained, loss = client.train(start)
+    assert not weights_allclose(trained, start)
+    assert loss > 0
+
+
+def test_train_does_not_mutate_input_weights(client):
+    start = client.model.get_weights()
+    snapshot = [w.copy() for w in start]
+    client.train(start)
+    assert weights_allclose(start, snapshot)
+
+
+def test_proximal_training_stays_closer_to_reference(client):
+    from repro.nn.serialization import weights_l2_distance
+
+    start = client.model.get_weights()
+    free, _ = client.train(start)
+    # mu must satisfy lr * mu < 1 for the proximal pull to be contractive
+    anchored, _ = client.train(start, proximal_mu=5.0)
+    assert weights_l2_distance(anchored, start) < weights_l2_distance(free, start)
+
+
+def test_epochs_override(client, tiny_fmnist, mlp_builder):
+    """More epochs -> more movement from the starting weights."""
+    from repro.nn.serialization import weights_l2_distance
+
+    start = client.model.get_weights()
+    one, _ = client.train(start, epochs_override=1)
+    # fresh client with same rng seed for a fair comparison
+    model = mlp_builder(np.random.default_rng(0))
+    config = TrainingConfig(local_epochs=1, local_batches=3, batch_size=8, learning_rate=0.1)
+    client2 = Client(tiny_fmnist.clients[0], model, config, rng=1)
+    five, _ = client2.train(start, epochs_override=5)
+    assert weights_l2_distance(five, start) > weights_l2_distance(one, start)
+
+
+def test_tx_accuracy_cached(client):
+    tangle = Tangle(client.model.get_weights())
+    before = client.evaluations
+    first = client.tx_accuracy(tangle, GENESIS_ID)
+    after_first = client.evaluations
+    second = client.tx_accuracy(tangle, GENESIS_ID)
+    assert first == second
+    assert after_first == before + 1
+    assert client.evaluations == after_first  # cache hit: no new evaluation
+
+
+def test_reset_cache_forces_reevaluation(client):
+    tangle = Tangle(client.model.get_weights())
+    client.tx_accuracy(tangle, GENESIS_ID)
+    count = client.evaluations
+    client.reset_cache()
+    client.tx_accuracy(tangle, GENESIS_ID)
+    assert client.evaluations == count + 1
+
+
+def test_different_transactions_evaluated_separately(client, rng):
+    tangle = Tangle(client.model.get_weights())
+    other = [w + rng.normal(size=w.shape) for w in client.model.get_weights()]
+    tangle.add(Transaction("t1", (GENESIS_ID,), other, 5, 0))
+    a = client.tx_accuracy(tangle, GENESIS_ID)
+    b = client.tx_accuracy(tangle, "t1")
+    assert client.evaluations >= 2
+    assert isinstance(a, float) and isinstance(b, float)

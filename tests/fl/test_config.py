@@ -1,0 +1,68 @@
+"""Training and DAG configuration."""
+
+import pytest
+
+from repro.fl.config import DagConfig, TABLE1_CONFIGS, TrainingConfig, table1_config
+
+
+def test_table1_values_match_paper():
+    fmnist = TABLE1_CONFIGS["fmnist-clustered"]
+    assert (fmnist.local_epochs, fmnist.local_batches, fmnist.batch_size) == (1, 10, 10)
+    assert fmnist.learning_rate == 0.05
+
+    poets = TABLE1_CONFIGS["poets"]
+    assert (poets.local_epochs, poets.local_batches) == (1, 35)
+    assert poets.learning_rate == 0.8
+
+    cifar = TABLE1_CONFIGS["cifar100"]
+    assert (cifar.local_epochs, cifar.local_batches) == (5, 45)
+    assert cifar.learning_rate == 0.01
+
+
+def test_table1_lookup_by_prefix():
+    assert table1_config("fmnist-clustered-relaxed") is TABLE1_CONFIGS["fmnist-clustered"]
+
+
+def test_table1_unknown_raises():
+    with pytest.raises(KeyError):
+        table1_config("imagenet")
+
+
+def test_training_config_validation():
+    with pytest.raises(ValueError):
+        TrainingConfig(local_epochs=0)
+    with pytest.raises(ValueError):
+        TrainingConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        TrainingConfig(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        TrainingConfig(local_batches=0)
+
+
+def test_training_config_scaled_copy():
+    base = TrainingConfig(learning_rate=0.05)
+    scaled = base.scaled(local_batches=3)
+    assert scaled.local_batches == 3
+    assert scaled.learning_rate == 0.05
+    assert base.local_batches == 10  # original untouched
+
+
+def test_dag_config_defaults_match_paper():
+    cfg = DagConfig()
+    assert cfg.num_tips == 2
+    assert cfg.depth_range == (15, 25)
+    assert cfg.publish_gate is True
+    assert cfg.selector == "accuracy"
+
+
+def test_dag_config_validation():
+    with pytest.raises(ValueError):
+        DagConfig(alpha=-1.0)
+    with pytest.raises(ValueError):
+        DagConfig(normalization="nope")
+    with pytest.raises(ValueError):
+        DagConfig(selector="nope")
+    with pytest.raises(ValueError):
+        DagConfig(num_tips=0)
+    with pytest.raises(ValueError):
+        DagConfig(depth_range=(10, 5))

@@ -1,0 +1,28 @@
+"""RoundRecord statistics."""
+
+import math
+
+from repro.fl.records import RoundRecord
+
+
+def test_mean_accuracy():
+    record = RoundRecord(0, [1, 2], client_accuracy={1: 0.4, 2: 0.6})
+    assert record.mean_accuracy == 0.5
+
+
+def test_empty_record_statistics_are_nan():
+    record = RoundRecord(0, [])
+    assert math.isnan(record.mean_accuracy)
+    assert math.isnan(record.mean_loss)
+    assert math.isnan(record.accuracy_std)
+    assert math.isnan(record.mean_walk_duration)
+
+
+def test_accuracy_std():
+    record = RoundRecord(0, [1, 2], client_accuracy={1: 0.0, 2: 1.0})
+    assert record.accuracy_std == 0.5
+
+
+def test_mean_walk_duration():
+    record = RoundRecord(0, [1, 2], walk_duration={1: 0.2, 2: 0.4})
+    assert abs(record.mean_walk_duration - 0.3) < 1e-12

@@ -1,0 +1,50 @@
+"""Integration: poisoning containment at micro scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig12_13_14 import run_scenario
+from repro.experiments.scale import SCALES
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    """A sub-smoke profile so the whole scenario runs in seconds."""
+    from dataclasses import replace
+
+    return replace(
+        SCALES["smoke"],
+        fmnist_clients=8,
+        fmnist_samples=30,
+        poison_clean_rounds=5,
+        poison_attack_rounds=5,
+        clients_per_round=5,
+    )
+
+
+def test_scenario_output_structure(micro_scale):
+    out = run_scenario(micro_scale, poisoned_fraction=0.25, seed=0)
+    assert len(out["flipped_rate"]) == 5
+    assert len(out["approved_poisoned"]) == 5
+    assert len(out["poisoned_clients"]) == 2
+    assert sum(r["benign"] + r["poisoned"] for r in out["cluster_distribution"]) == 8
+
+
+def test_no_poison_means_no_approved_poisoned(micro_scale):
+    out = run_scenario(micro_scale, poisoned_fraction=0.0, seed=0)
+    assert out["poisoned_clients"] == []
+    assert all(count == 0 for count in out["approved_poisoned"])
+
+
+def test_flipped_rates_valid_fractions(micro_scale):
+    out = run_scenario(micro_scale, poisoned_fraction=0.25, seed=0)
+    for rate in out["flipped_rate"]:
+        assert 0.0 <= rate <= 1.0 or np.isnan(rate)
+
+
+def test_random_selector_scenario_runs(micro_scale):
+    out = run_scenario(
+        micro_scale, poisoned_fraction=0.25, selector="random", seed=0
+    )
+    assert out["selector"] == "random"
+    assert len(out["flipped_rate"]) == 5

@@ -1,0 +1,95 @@
+"""G_clients construction and approval pureness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.metrics.clients_graph import build_clients_graph
+from repro.metrics.pureness import approval_pureness, expected_random_pureness
+
+
+def weights():
+    return [np.zeros(1)]
+
+
+def build_tangle(edges):
+    """edges: list of (tx_id, issuer, parents, round)."""
+    t = Tangle(weights())
+    for tx_id, issuer, parents, round_index in edges:
+        t.add(Transaction(tx_id, tuple(parents), weights(), issuer, round_index))
+    return t
+
+
+@pytest.fixture
+def tangle():
+    return build_tangle(
+        [
+            ("a1", 0, [GENESIS_ID], 0),
+            ("b1", 1, [GENESIS_ID], 0),
+            ("a2", 0, ["a1", "b1"], 1),
+            ("b2", 1, ["b1", "a1"], 1),
+            ("a3", 2, ["a2", "a1"], 2),
+        ]
+    )
+
+
+def test_clients_graph_counts_mutual_approvals(tangle):
+    g = build_clients_graph(tangle)
+    # a2 approves b1 (0->1), b2 approves a1 (1->0): weight 2 between 0 and 1
+    assert g.edge_weight(0, 1) == 2.0
+    # a3 (issuer 2) approves a2 and a1 (both issuer 0)
+    assert g.edge_weight(2, 0) == 2.0
+    assert g.edge_weight(2, 1) == 0.0
+
+
+def test_clients_graph_ignores_self_and_genesis(tangle):
+    g = build_clients_graph(tangle)
+    # a2 approving a1 is a self-approval (same issuer 0); genesis excluded
+    assert g.edge_weight(0, 0) == 0.0
+
+
+def test_clients_graph_includes_silent_clients(tangle):
+    g = build_clients_graph(tangle, include_clients=[0, 1, 2, 3])
+    assert 3 in g
+    assert g.degree(3) == 0.0
+
+
+def test_pureness_counts_same_cluster_fraction(tangle):
+    labels = {0: 0, 1: 1, 2: 0}
+    # inter-tx approvals: a2->a1 (0,0 pure), a2->b1 (0,1 not), b2->b1 (1,1 pure),
+    # b2->a1 (1,0 not), a3->a2 (0,0 pure), a3->a1 (pure) => 4/6
+    assert approval_pureness(tangle, labels) == pytest.approx(4 / 6)
+
+
+def test_pureness_since_round_filters(tangle):
+    labels = {0: 0, 1: 1, 2: 0}
+    # only a3 published at round >= 2: both its approvals are pure
+    assert approval_pureness(tangle, labels, since_round=2) == 1.0
+
+
+def test_pureness_empty_tangle_is_nan():
+    t = Tangle(weights())
+    assert math.isnan(approval_pureness(t, {}))
+
+
+def test_pureness_missing_label_raises(tangle):
+    with pytest.raises(KeyError):
+        approval_pureness(tangle, {0: 0})
+
+
+def test_expected_random_pureness_equal_clusters():
+    labels = {i: i % 4 for i in range(40)}
+    assert expected_random_pureness(labels) == pytest.approx(0.25)
+
+
+def test_expected_random_pureness_skewed():
+    labels = {0: 0, 1: 0, 2: 0, 3: 1}
+    assert expected_random_pureness(labels) == pytest.approx(0.75**2 + 0.25**2)
+
+
+def test_expected_random_pureness_validation():
+    with pytest.raises(ValueError):
+        expected_random_pureness({})

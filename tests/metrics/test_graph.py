@@ -1,0 +1,75 @@
+"""WeightedGraph primitives."""
+
+import pytest
+
+from repro.metrics.graph import WeightedGraph
+
+
+def test_add_edge_creates_nodes():
+    g = WeightedGraph()
+    g.add_edge("a", "b", 2.0)
+    assert set(g.nodes()) == {"a", "b"}
+    assert g.edge_weight("a", "b") == 2.0
+    assert g.edge_weight("b", "a") == 2.0
+
+
+def test_edge_weights_accumulate():
+    g = WeightedGraph()
+    g.add_edge(1, 2, 1.0)
+    g.add_edge(2, 1, 3.0)
+    assert g.edge_weight(1, 2) == 4.0
+
+
+def test_rejects_negative_weight():
+    with pytest.raises(ValueError):
+        WeightedGraph().add_edge(1, 2, -1.0)
+
+
+def test_isolated_node():
+    g = WeightedGraph()
+    g.add_node("x")
+    assert "x" in g
+    assert g.degree("x") == 0.0
+    assert g.neighbors("x") == {}
+
+
+def test_self_loop_counts_twice_in_degree():
+    g = WeightedGraph()
+    g.add_edge("a", "a", 3.0)
+    assert g.degree("a") == 6.0
+    assert g.total_edge_weight() == 3.0
+
+
+def test_degree_sums_incident_weights():
+    g = WeightedGraph()
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("a", "c", 2.0)
+    assert g.degree("a") == 3.0
+
+
+def test_edges_yield_each_once():
+    g = WeightedGraph()
+    g.add_edge(1, 2, 1.0)
+    g.add_edge(2, 3, 2.0)
+    edges = list(g.edges())
+    assert len(edges) == 2
+    assert g.total_edge_weight() == 3.0
+
+
+def test_handshake_lemma():
+    """Sum of degrees equals twice the total edge weight."""
+    g = WeightedGraph()
+    g.add_edge(1, 2, 1.5)
+    g.add_edge(2, 3, 2.0)
+    g.add_edge(3, 3, 1.0)  # self-loop
+    degree_sum = sum(g.degree(n) for n in g.nodes())
+    assert degree_sum == pytest.approx(2 * g.total_edge_weight())
+
+
+def test_subgraph_weight_within():
+    g = WeightedGraph()
+    g.add_edge(1, 2, 1.0)
+    g.add_edge(2, 3, 5.0)
+    assert g.subgraph_weight_within({1, 2}) == 1.0
+    assert g.subgraph_weight_within({1, 2, 3}) == 6.0
+    assert g.subgraph_weight_within({1, 3}) == 0.0

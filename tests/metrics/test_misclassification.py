@@ -1,0 +1,39 @@
+"""Misclassification fraction."""
+
+import pytest
+
+from repro.metrics.misclassification import misclassification_fraction
+
+
+def test_perfect_clustering_is_zero():
+    inferred = {0: 0, 1: 0, 2: 1, 3: 1}
+    truth = {0: 5, 1: 5, 2: 9, 3: 9}
+    assert misclassification_fraction(inferred, truth) == 0.0
+
+
+def test_minority_members_count():
+    inferred = {0: 0, 1: 0, 2: 0, 3: 1}
+    truth = {0: 7, 1: 7, 2: 8, 3: 8}  # client 2 sits with majority-7 community
+    assert misclassification_fraction(inferred, truth) == pytest.approx(0.25)
+
+
+def test_tie_resolved_generously():
+    inferred = {0: 0, 1: 0}
+    truth = {0: 1, 1: 2}  # 1-1 tie: both labels are majority
+    assert misclassification_fraction(inferred, truth) == 0.0
+
+
+def test_everything_in_one_community():
+    inferred = {i: 0 for i in range(4)}
+    truth = {0: 0, 1: 0, 2: 0, 3: 1}
+    assert misclassification_fraction(inferred, truth) == pytest.approx(0.25)
+
+
+def test_missing_truth_raises():
+    with pytest.raises(KeyError):
+        misclassification_fraction({0: 0}, {})
+
+
+def test_empty_inferred_raises():
+    with pytest.raises(ValueError):
+        misclassification_fraction({}, {})

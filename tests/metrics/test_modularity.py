@@ -1,0 +1,118 @@
+"""Modularity and Louvain, cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.metrics.graph import WeightedGraph
+from repro.metrics.modularity import louvain_communities, modularity
+
+
+def two_cliques():
+    """Two triangles joined by one weak edge."""
+    g = WeightedGraph()
+    for a, b in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]:
+        g.add_edge(a, b, 1.0)
+    g.add_edge(2, 3, 0.1)
+    return g
+
+
+def to_networkx(g):
+    gx = nx.Graph()
+    gx.add_nodes_from(g.nodes())
+    for a, b, w in g.edges():
+        gx.add_edge(a, b, weight=w)
+    return gx
+
+
+def test_modularity_of_planted_partition_positive():
+    g = two_cliques()
+    partition = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+    assert modularity(g, partition) > 0.3
+
+
+def test_modularity_single_community_is_zero():
+    g = two_cliques()
+    partition = {n: 0 for n in g.nodes()}
+    assert modularity(g, partition) == pytest.approx(0.0)
+
+
+def test_modularity_matches_networkx_on_random_graphs():
+    rng = np.random.default_rng(0)
+    for trial in range(5):
+        g = WeightedGraph()
+        n = 12
+        for i in range(n):
+            g.add_node(i)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.4:
+                    g.add_edge(i, j, float(rng.integers(1, 5)))
+        partition = {i: int(rng.integers(0, 3)) for i in range(n)}
+        communities = {}
+        for node, comm in partition.items():
+            communities.setdefault(comm, set()).add(node)
+        ours = modularity(g, partition)
+        theirs = nx.community.modularity(to_networkx(g), list(communities.values()))
+        assert ours == pytest.approx(theirs, abs=1e-10)
+
+
+def test_modularity_missing_node_raises():
+    g = two_cliques()
+    with pytest.raises(ValueError, match="missing node"):
+        modularity(g, {0: 0})
+
+
+def test_modularity_empty_graph_is_zero():
+    assert modularity(WeightedGraph(), {}) == 0.0
+
+
+def test_louvain_recovers_planted_partition():
+    partition = louvain_communities(two_cliques(), seed=0)
+    assert partition[0] == partition[1] == partition[2]
+    assert partition[3] == partition[4] == partition[5]
+    assert partition[0] != partition[3]
+
+
+def test_louvain_community_ids_compact():
+    partition = louvain_communities(two_cliques(), seed=0)
+    assert set(partition.values()) == set(range(len(set(partition.values()))))
+
+
+def test_louvain_empty_graph():
+    assert louvain_communities(WeightedGraph(), seed=0) == {}
+
+
+def test_louvain_isolated_nodes_own_communities():
+    g = WeightedGraph()
+    g.add_node("a")
+    g.add_node("b")
+    partition = louvain_communities(g, seed=0)
+    assert partition["a"] != partition["b"]
+
+
+def test_louvain_quality_comparable_to_networkx():
+    """Our Louvain should find partitions of similar modularity to nx's on
+    planted-partition graphs."""
+    rng = np.random.default_rng(1)
+    for trial in range(3):
+        g = WeightedGraph()
+        n_groups, size = 3, 8
+        for i in range(n_groups * size):
+            g.add_node(i)
+        for i in range(n_groups * size):
+            for j in range(i + 1, n_groups * size):
+                same = (i // size) == (j // size)
+                if rng.random() < (0.8 if same else 0.05):
+                    g.add_edge(i, j, 1.0)
+        ours = modularity(g, louvain_communities(g, seed=trial))
+        gx = to_networkx(g)
+        theirs = nx.community.modularity(
+            gx, nx.community.louvain_communities(gx, seed=trial)
+        )
+        assert ours >= theirs - 0.05
+
+
+def test_louvain_deterministic_under_seed():
+    g = two_cliques()
+    assert louvain_communities(g, seed=5) == louvain_communities(g, seed=5)

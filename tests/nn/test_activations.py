@@ -1,0 +1,51 @@
+"""Activation layers: values, gradients, stability."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_layer_gradients
+from repro.nn.layers import ReLU, Sigmoid, Tanh
+from repro.nn.layers.activations import sigmoid
+
+
+@pytest.mark.parametrize("layer_cls", [ReLU, Tanh, Sigmoid])
+def test_gradients(layer_cls, rng):
+    layer = layer_cls()
+    x = rng.normal(size=(4, 6)) + 0.1  # avoid the ReLU kink at exactly 0
+    errors = check_layer_gradients(layer, x)
+    assert max(errors.values()) < 1e-6
+
+
+def test_relu_zeroes_negatives(rng):
+    out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+    np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+
+def test_relu_gradient_blocked_at_negatives():
+    layer = ReLU()
+    layer.forward(np.array([[-1.0, 3.0]]))
+    grad = layer.backward(np.array([[5.0, 5.0]]))
+    np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+
+def test_tanh_bounded(rng):
+    out = Tanh().forward(rng.normal(size=(10, 10)) * 100)
+    assert np.all(np.abs(out) <= 1.0)
+
+
+def test_sigmoid_extreme_values_stable():
+    x = np.array([[-1000.0, 1000.0, 0.0]])
+    out = sigmoid(x)
+    assert np.isfinite(out).all()
+    np.testing.assert_allclose(out, [[0.0, 1.0, 0.5]], atol=1e-12)
+
+
+def test_sigmoid_symmetry(rng):
+    x = rng.normal(size=(5, 5))
+    np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("layer_cls", [ReLU, Tanh, Sigmoid])
+def test_backward_before_forward_raises(layer_cls, rng):
+    with pytest.raises(RuntimeError):
+        layer_cls().backward(rng.normal(size=(2, 2)))

@@ -1,0 +1,82 @@
+"""Adam optimizer and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, clip_gradients, zoo
+from repro.nn.parameter import Parameter
+
+
+def make_param(value):
+    return Parameter(np.array(value, dtype=np.float64))
+
+
+def test_clip_reduces_large_gradients():
+    param = make_param([3.0, 4.0])
+    param.grad[:] = [3.0, 4.0]  # norm 5
+    norm = clip_gradients([param], max_norm=1.0)
+    assert norm == pytest.approx(5.0)
+    assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+
+def test_clip_leaves_small_gradients():
+    param = make_param([1.0])
+    param.grad[:] = [0.5]
+    clip_gradients([param], max_norm=1.0)
+    np.testing.assert_allclose(param.grad, [0.5])
+
+
+def test_clip_global_norm_across_params():
+    a = make_param([0.0]); a.grad[:] = [3.0]
+    b = make_param([0.0]); b.grad[:] = [4.0]
+    clip_gradients([a, b], max_norm=1.0)
+    total = float(np.sqrt(np.sum(a.grad**2) + np.sum(b.grad**2)))
+    assert total == pytest.approx(1.0)
+
+
+def test_sgd_with_clipping_caps_update():
+    param = make_param([0.0])
+    param.grad[:] = [100.0]
+    SGD(1.0, clip_norm=1.0).step([param])
+    np.testing.assert_allclose(param.value, [-1.0])
+
+
+def test_adam_first_step_is_lr_sized():
+    """Bias-corrected Adam's first step is ~lr * sign(grad)."""
+    param = make_param([0.0])
+    param.grad[:] = [7.0]
+    Adam(lr=0.1).step([param])
+    assert param.value[0] == pytest.approx(-0.1, rel=1e-6)
+
+
+def test_adam_state_persists_across_steps():
+    param = make_param([0.0])
+    optimizer = Adam(lr=0.1)
+    for _ in range(3):
+        param.grad[:] = [1.0]
+        optimizer.step([param])
+    assert param.value[0] < -0.25  # three ~lr-sized steps
+
+
+def test_adam_validation():
+    with pytest.raises(ValueError):
+        Adam(lr=0.0)
+    with pytest.raises(ValueError):
+        Adam(beta1=1.0)
+    with pytest.raises(ValueError):
+        Adam(eps=0.0)
+
+
+def test_adam_trains_model(rng):
+    model = zoo.build_mlp(rng, in_features=6, hidden=(12,), num_classes=2)
+    x = rng.normal(size=(80, 6))
+    y = (x[:, 0] > 0).astype(int)
+    optimizer = Adam(lr=0.01)
+    for _ in range(30):
+        model.train_local(x, y, optimizer, rng, epochs=1, batch_size=16)
+    assert model.accuracy(x, y) > 0.9
+
+
+def test_clip_validation():
+    with pytest.raises(ValueError):
+        clip_gradients([], max_norm=0.0)

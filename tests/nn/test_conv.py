@@ -1,0 +1,89 @@
+"""Conv2D: shapes, im2col/col2im adjointness, gradients, known values."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_layer_gradients
+from repro.nn.layers import Conv2D
+from repro.nn.layers.conv import col2im, conv_output_size, im2col
+
+
+def test_output_shape_no_padding(rng):
+    layer = Conv2D(2, 4, 3, rng)
+    out = layer.forward(rng.normal(size=(5, 2, 8, 8)))
+    assert out.shape == (5, 4, 6, 6)
+
+
+def test_output_shape_same_padding(rng):
+    layer = Conv2D(1, 3, 3, rng, padding=1)
+    out = layer.forward(rng.normal(size=(2, 1, 7, 7)))
+    assert out.shape == (2, 3, 7, 7)
+
+
+def test_output_shape_stride(rng):
+    layer = Conv2D(1, 2, 3, rng, stride=2)
+    out = layer.forward(rng.normal(size=(1, 1, 9, 9)))
+    assert out.shape == (1, 2, 4, 4)
+
+
+def test_conv_output_size_rejects_too_small():
+    with pytest.raises(ValueError, match="non-positive conv output"):
+        conv_output_size(2, 5, 1, 0)
+
+
+def test_rejects_wrong_channels(rng):
+    layer = Conv2D(3, 2, 3, rng)
+    with pytest.raises(ValueError, match="expected"):
+        layer.forward(rng.normal(size=(1, 2, 8, 8)))
+
+
+def test_known_convolution_value(rng):
+    """A 1x1x2x2 all-ones kernel sums 2x2 windows."""
+    layer = Conv2D(1, 1, 2, rng)
+    layer.weight.value[:] = 1.0
+    layer.bias.value[:] = 0.0
+    x = np.arange(9, dtype=np.float64).reshape(1, 1, 3, 3)
+    out = layer.forward(x)
+    expected = np.array([[0 + 1 + 3 + 4, 1 + 2 + 4 + 5], [3 + 4 + 6 + 7, 4 + 5 + 7 + 8]])
+    np.testing.assert_allclose(out[0, 0], expected)
+
+
+def test_bias_added_per_channel(rng):
+    layer = Conv2D(1, 2, 2, rng)
+    layer.weight.value[:] = 0.0
+    layer.bias.value[:] = [1.5, -2.0]
+    out = layer.forward(np.zeros((1, 1, 4, 4)))
+    np.testing.assert_allclose(out[0, 0], 1.5)
+    np.testing.assert_allclose(out[0, 1], -2.0)
+
+
+def test_gradients(rng):
+    layer = Conv2D(2, 3, 3, rng, padding=1)
+    x = rng.normal(size=(2, 2, 5, 5))
+    errors = check_layer_gradients(layer, x)
+    assert max(errors.values()) < 1e-5
+
+
+def test_gradients_with_stride(rng):
+    layer = Conv2D(1, 2, 3, rng, stride=2)
+    x = rng.normal(size=(2, 1, 7, 7))
+    errors = check_layer_gradients(layer, x)
+    assert max(errors.values()) < 1e-5
+
+
+def test_im2col_col2im_adjoint(rng):
+    """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+    x = rng.normal(size=(2, 3, 6, 6))
+    cols = im2col(x, 3, 3, 2, 1)
+    y = rng.normal(size=cols.shape)
+    lhs = float(np.sum(cols * y))
+    rhs = float(np.sum(x * col2im(y, x.shape, 3, 3, 2, 1)))
+    assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+def test_im2col_reconstructs_patches(rng):
+    x = rng.normal(size=(1, 1, 4, 4))
+    cols = im2col(x, 2, 2, 1, 0)
+    # patch at output position (0, 0) is the top-left 2x2 window
+    np.testing.assert_allclose(cols[0, 0, :, :, 0, 0], x[0, 0, :2, :2])
+    np.testing.assert_allclose(cols[0, 0, :, :, 2, 2], x[0, 0, 2:, 2:])

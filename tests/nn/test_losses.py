@@ -1,0 +1,71 @@
+"""Softmax cross-entropy: values, gradients, stability."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import softmax_cross_entropy, softmax_probabilities
+
+
+def test_softmax_rows_sum_to_one(rng):
+    probs = softmax_probabilities(rng.normal(size=(6, 4)))
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+    assert np.all(probs >= 0)
+
+
+def test_softmax_shift_invariant(rng):
+    logits = rng.normal(size=(3, 5))
+    np.testing.assert_allclose(
+        softmax_probabilities(logits), softmax_probabilities(logits + 100.0)
+    )
+
+
+def test_softmax_extreme_logits_stable():
+    probs = softmax_probabilities(np.array([[1000.0, -1000.0]]))
+    assert np.isfinite(probs).all()
+    np.testing.assert_allclose(probs, [[1.0, 0.0]], atol=1e-12)
+
+
+def test_uniform_logits_loss_is_log_k():
+    logits = np.zeros((4, 10))
+    labels = np.arange(4) % 10
+    loss, _ = softmax_cross_entropy(logits, labels)
+    assert loss == pytest.approx(np.log(10))
+
+
+def test_perfect_prediction_loss_near_zero():
+    logits = np.full((3, 4), -100.0)
+    labels = np.array([0, 1, 2])
+    logits[np.arange(3), labels] = 100.0
+    loss, _ = softmax_cross_entropy(logits, labels)
+    assert loss < 1e-6
+
+
+def test_gradient_matches_finite_differences(rng):
+    logits = rng.normal(size=(5, 4))
+    labels = rng.integers(0, 4, size=5)
+    _, grad = softmax_cross_entropy(logits.copy(), labels)
+    eps = 1e-6
+    for i in range(5):
+        for j in range(4):
+            plus = logits.copy(); plus[i, j] += eps
+            minus = logits.copy(); minus[i, j] -= eps
+            numeric = (
+                softmax_cross_entropy(plus, labels)[0]
+                - softmax_cross_entropy(minus, labels)[0]
+            ) / (2 * eps)
+            assert grad[i, j] == pytest.approx(numeric, abs=1e-6)
+
+
+def test_gradient_rows_sum_to_zero(rng):
+    """Softmax-CE gradient rows always sum to zero (probability simplex)."""
+    logits = rng.normal(size=(6, 5))
+    labels = rng.integers(0, 5, size=6)
+    _, grad = softmax_cross_entropy(logits, labels)
+    np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+def test_shape_validation(rng):
+    with pytest.raises(ValueError):
+        softmax_cross_entropy(rng.normal(size=(3,)), np.array([0, 1, 2]))
+    with pytest.raises(ValueError):
+        softmax_cross_entropy(rng.normal(size=(3, 2)), np.array([0, 1]))

@@ -1,0 +1,70 @@
+"""LSTM: shapes, gradients (full BPTT), temporal behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Classifier, Dense, LastTimeStep, LSTM, Sequential
+from repro.nn.gradcheck import check_layer_gradients
+
+
+def test_output_shape(rng):
+    layer = LSTM(4, 6, rng)
+    out = layer.forward(rng.normal(size=(3, 7, 4)))
+    assert out.shape == (3, 7, 6)
+
+
+def test_rejects_wrong_input_dim(rng):
+    layer = LSTM(4, 6, rng)
+    with pytest.raises(ValueError, match="expected"):
+        layer.forward(rng.normal(size=(3, 7, 5)))
+
+
+def test_gradients_full_bptt(rng):
+    layer = LSTM(3, 4, rng)
+    x = rng.normal(size=(2, 5, 3))
+    errors = check_layer_gradients(layer, x)
+    assert max(errors.values()) < 1e-5
+
+
+def test_gradients_single_timestep(rng):
+    layer = LSTM(3, 2, rng)
+    x = rng.normal(size=(2, 1, 3))
+    errors = check_layer_gradients(layer, x)
+    assert max(errors.values()) < 1e-5
+
+
+def test_forget_bias_initialized_to_one(rng):
+    layer = LSTM(3, 5, rng)
+    np.testing.assert_allclose(layer.bias.value[5:10], 1.0)
+    np.testing.assert_allclose(layer.bias.value[:5], 0.0)
+
+
+def test_hidden_states_bounded(rng):
+    layer = LSTM(3, 4, rng)
+    out = layer.forward(rng.normal(size=(2, 20, 3)) * 10)
+    assert np.all(np.abs(out) <= 1.0)  # h = o * tanh(c), both factors <= 1
+
+
+def test_state_depends_on_history(rng):
+    """Same final token, different prefix -> different final hidden state."""
+    layer = LSTM(2, 4, rng)
+    a = rng.normal(size=(1, 5, 2))
+    b = a.copy()
+    b[0, 0, :] += 3.0  # perturb only the first timestep
+    out_a = layer.forward(a)[:, -1, :]
+    out_b = layer.forward(b)[:, -1, :]
+    assert not np.allclose(out_a, out_b)
+
+
+def test_learns_last_token_identity(rng):
+    """An LSTM classifier can learn 'output = last input token class'."""
+    net = Sequential([LSTM(4, 16, rng), LastTimeStep(), Dense(16, 4, rng)])
+    model = Classifier(net)
+    n, t = 120, 6
+    tokens = rng.integers(0, 4, size=(n, t))
+    x = np.eye(4)[tokens]  # one-hot (N, T, 4)
+    y = tokens[:, -1]
+    optimizer = SGD(0.5)
+    for _ in range(40):
+        model.train_local(x, y, optimizer, rng, epochs=1, batch_size=20)
+    assert model.accuracy(x, y) > 0.9

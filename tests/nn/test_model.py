@@ -1,0 +1,118 @@
+"""Classifier wrapper: weights round-trip, evaluation, training."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, zoo
+from repro.nn.serialization import weights_allclose
+
+
+@pytest.fixture
+def model(rng):
+    return zoo.build_mlp(rng, in_features=8, hidden=(12,), num_classes=3)
+
+
+def toy_problem(rng, n=90):
+    x = rng.normal(size=(n, 8))
+    y = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0).astype(int)  # 3 classes
+    return x, y
+
+
+def test_weights_roundtrip(model, rng):
+    weights = model.get_weights()
+    perturbed = [w + 1.0 for w in weights]
+    model.set_weights(perturbed)
+    assert weights_allclose(model.get_weights(), perturbed)
+
+
+def test_get_weights_returns_copy(model):
+    weights = model.get_weights()
+    weights[0][:] = 0.0
+    assert not np.allclose(model.get_weights()[0], 0.0)
+
+
+def test_set_weights_copies_input(model):
+    weights = model.get_weights()
+    model.set_weights(weights)
+    weights[0][:] = 77.0
+    assert not np.allclose(model.get_weights()[0], 77.0)
+
+
+def test_set_weights_validates_shapes(model):
+    weights = model.get_weights()
+    weights[0] = np.zeros((2, 2))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        model.set_weights(weights)
+
+
+def test_set_weights_validates_length(model):
+    with pytest.raises(ValueError, match="expected"):
+        model.set_weights(model.get_weights()[:-1])
+
+
+def test_evaluate_returns_loss_and_accuracy(model, rng):
+    x, y = toy_problem(rng)
+    loss, acc = model.evaluate(x, y)
+    assert loss > 0
+    assert 0.0 <= acc <= 1.0
+
+
+def test_evaluate_batching_is_consistent(model, rng):
+    x, y = toy_problem(rng, n=50)
+    full = model.evaluate(x, y, batch_size=256)
+    batched = model.evaluate(x, y, batch_size=7)
+    assert full[0] == pytest.approx(batched[0])
+    assert full[1] == pytest.approx(batched[1])
+
+
+def test_evaluate_rejects_empty(model):
+    with pytest.raises(ValueError):
+        model.evaluate(np.empty((0, 8)), np.empty((0,), dtype=int))
+
+
+def test_training_reduces_loss(model, rng):
+    x, y = toy_problem(rng)
+    loss_before, _ = model.evaluate(x, y)
+    optimizer = SGD(0.2)
+    for _ in range(30):
+        model.train_local(x, y, optimizer, rng, epochs=1, batch_size=16)
+    loss_after, acc_after = model.evaluate(x, y)
+    assert loss_after < loss_before
+    assert acc_after > 0.8
+
+
+def test_max_batches_recycles_small_dataset(model, rng):
+    """A 10-sample dataset still yields the requested batch budget."""
+    x, y = toy_problem(rng, n=10)
+    calls = []
+    original = model.train_batch
+
+    def counting_train_batch(xb, yb, opt):
+        calls.append(len(xb))
+        return original(xb, yb, opt)
+
+    model.train_batch = counting_train_batch
+    model.train_local(x, y, SGD(0.1), rng, epochs=1, batch_size=4, max_batches=7)
+    assert len(calls) == 7
+
+
+def test_train_rejects_empty(model, rng):
+    with pytest.raises(ValueError):
+        model.train_local(
+            np.empty((0, 8)), np.empty((0,), dtype=int), SGD(0.1), rng
+        )
+
+
+def test_predict_consistent_with_logits(model, rng):
+    x, _ = toy_problem(rng, n=20)
+    np.testing.assert_array_equal(model.predict(x), model.logits(x).argmax(axis=1))
+
+
+def test_predict_proba_rows_sum_to_one(model, rng):
+    x, _ = toy_problem(rng, n=20)
+    np.testing.assert_allclose(model.predict_proba(x).sum(axis=1), 1.0)
+
+
+def test_parameter_count(model):
+    # 8*12 + 12 + 12*3 + 3 = 96 + 12 + 36 + 3
+    assert model.parameter_count == 147

@@ -1,0 +1,83 @@
+"""SGD and ProximalSGD semantics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ProximalSGD, SGD
+from repro.nn.parameter import Parameter
+
+
+def make_param(value):
+    param = Parameter(np.array(value, dtype=np.float64))
+    return param
+
+
+def test_sgd_step():
+    param = make_param([1.0, 2.0])
+    param.grad[:] = [0.5, -0.5]
+    SGD(0.1).step([param])
+    np.testing.assert_allclose(param.value, [0.95, 2.05])
+
+
+def test_sgd_clears_gradient_after_step():
+    param = make_param([1.0])
+    param.grad[:] = [1.0]
+    SGD(0.1).step([param])
+    np.testing.assert_allclose(param.grad, 0.0)
+
+
+def test_momentum_accumulates():
+    param = make_param([0.0])
+    optimizer = SGD(1.0, momentum=0.5)
+    for _ in range(2):
+        param.grad[:] = [1.0]
+        optimizer.step([param])
+    # v1 = 1 -> w = -1; v2 = 0.5 + 1 = 1.5 -> w = -2.5
+    np.testing.assert_allclose(param.value, [-2.5])
+
+
+def test_momentum_validation():
+    with pytest.raises(ValueError):
+        SGD(0.1, momentum=1.0)
+    with pytest.raises(ValueError):
+        SGD(-0.1)
+
+
+def test_proximal_pulls_towards_reference():
+    param = make_param([2.0])
+    optimizer = ProximalSGD(lr=0.1, mu=1.0)
+    optimizer.set_reference([np.array([0.0])])
+    param.grad[:] = [0.0]  # no data gradient: pure proximal pull
+    optimizer.step([param])
+    np.testing.assert_allclose(param.value, [2.0 - 0.1 * (2.0 - 0.0)])
+
+
+def test_proximal_with_zero_mu_is_sgd():
+    param_a = make_param([1.0])
+    param_b = make_param([1.0])
+    param_a.grad[:] = [0.3]
+    param_b.grad[:] = [0.3]
+    prox = ProximalSGD(lr=0.1, mu=0.0)
+    prox.set_reference([np.array([42.0])])
+    prox.step([param_a])
+    SGD(0.1).step([param_b])
+    np.testing.assert_allclose(param_a.value, param_b.value)
+
+
+def test_proximal_without_reference_is_plain_sgd():
+    param = make_param([1.0])
+    param.grad[:] = [1.0]
+    ProximalSGD(lr=0.1, mu=5.0).step([param])
+    np.testing.assert_allclose(param.value, [0.9])
+
+
+def test_proximal_reference_length_mismatch():
+    optimizer = ProximalSGD(lr=0.1, mu=1.0)
+    optimizer.set_reference([np.array([0.0]), np.array([0.0])])
+    with pytest.raises(ValueError, match="reference has 2"):
+        optimizer.step([make_param([1.0])])
+
+
+def test_proximal_mu_validation():
+    with pytest.raises(ValueError):
+        ProximalSGD(lr=0.1, mu=-1.0)

@@ -1,0 +1,46 @@
+"""MaxPool2D: values, shapes, gradient routing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_layer_gradients
+from repro.nn.layers import MaxPool2D
+
+
+def test_known_values():
+    x = np.array(
+        [[[[1.0, 2.0, 5.0, 6.0], [3.0, 4.0, 7.0, 8.0], [0, 0, 0, 0], [0, 0, 9.0, 0]]]]
+    )
+    out = MaxPool2D(2, 2).forward(x)
+    np.testing.assert_allclose(out[0, 0], [[4.0, 8.0], [0.0, 9.0]])
+
+
+def test_output_shape(rng):
+    out = MaxPool2D(2, 2).forward(rng.normal(size=(3, 4, 8, 6)))
+    assert out.shape == (3, 4, 4, 3)
+
+
+def test_gradient_routes_to_argmax():
+    layer = MaxPool2D(2, 2)
+    x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+    layer.forward(x)
+    grad_in = layer.backward(np.array([[[[10.0]]]]))
+    np.testing.assert_allclose(grad_in, [[[[0.0, 0.0], [0.0, 10.0]]]])
+
+
+def test_gradients_finite_differences(rng):
+    layer = MaxPool2D(2, 2)
+    # well-separated values so the argmax is stable under eps perturbation
+    x = rng.permutation(np.arange(64, dtype=np.float64)).reshape(1, 1, 8, 8)
+    errors = check_layer_gradients(layer, x)
+    assert max(errors.values()) < 1e-6
+
+
+def test_rejects_non_4d(rng):
+    with pytest.raises(ValueError):
+        MaxPool2D(2).forward(rng.normal(size=(4, 4)))
+
+
+def test_overlapping_stride(rng):
+    out = MaxPool2D(3, 1).forward(rng.normal(size=(1, 1, 5, 5)))
+    assert out.shape == (1, 1, 3, 3)

@@ -1,0 +1,103 @@
+"""Weight utilities: cloning, averaging, distances."""
+
+import numpy as np
+import pytest
+
+from repro.nn.serialization import (
+    average_weights,
+    clone_weights,
+    flatten_weights,
+    total_parameter_count,
+    weighted_average_weights,
+    weights_allclose,
+    weights_l2_distance,
+)
+
+
+def weights_of(rng, shapes=((3, 2), (2,))):
+    return [rng.normal(size=s) for s in shapes]
+
+
+def test_clone_is_deep(rng):
+    original = weights_of(rng)
+    cloned = clone_weights(original)
+    cloned[0][0, 0] += 99.0
+    assert original[0][0, 0] != cloned[0][0, 0]
+
+
+def test_average_of_identical_is_identity(rng):
+    w = weights_of(rng)
+    avg = average_weights([w, clone_weights(w)])
+    assert weights_allclose(avg, w)
+
+
+def test_average_midpoint(rng):
+    a = weights_of(rng)
+    b = [x + 2.0 for x in a]
+    avg = average_weights([a, b])
+    expected = [x + 1.0 for x in a]
+    assert weights_allclose(avg, expected)
+
+
+def test_average_rejects_shape_mismatch(rng):
+    a = weights_of(rng)
+    b = [np.zeros((3, 3)), np.zeros((2,))]
+    with pytest.raises(ValueError, match="shapes differ"):
+        average_weights([a, b])
+
+
+def test_average_rejects_length_mismatch(rng):
+    a = weights_of(rng)
+    with pytest.raises(ValueError, match="different lengths"):
+        average_weights([a, a[:1]])
+
+
+def test_average_rejects_empty():
+    with pytest.raises(ValueError):
+        average_weights([])
+
+
+def test_weighted_average_normalizes_coefficients(rng):
+    a = weights_of(rng)
+    b = [x + 4.0 for x in a]
+    # raw sample counts 30/10 -> 0.75/0.25
+    avg = weighted_average_weights([a, b], [30, 10])
+    expected = [x + 1.0 for x in a]
+    assert weights_allclose(avg, expected)
+
+
+def test_weighted_average_validation(rng):
+    a = weights_of(rng)
+    with pytest.raises(ValueError, match="one coefficient"):
+        weighted_average_weights([a], [1.0, 2.0])
+    with pytest.raises(ValueError, match="non-negative"):
+        weighted_average_weights([a, a], [1.0, -1.0])
+    with pytest.raises(ValueError, match="not all be zero"):
+        weighted_average_weights([a, a], [0.0, 0.0])
+
+
+def test_l2_distance_zero_for_identical(rng):
+    w = weights_of(rng)
+    assert weights_l2_distance(w, clone_weights(w)) == 0.0
+
+
+def test_l2_distance_known_value():
+    a = [np.zeros((2, 2))]
+    b = [np.ones((2, 2))]
+    assert weights_l2_distance(a, b) == pytest.approx(2.0)
+
+
+def test_flatten_concatenates(rng):
+    w = weights_of(rng)
+    flat = flatten_weights(w)
+    assert flat.shape == (8,)
+    np.testing.assert_allclose(flat[:6], w[0].reshape(-1))
+
+
+def test_total_parameter_count(rng):
+    assert total_parameter_count(weights_of(rng)) == 8
+
+
+def test_allclose_detects_length_difference(rng):
+    w = weights_of(rng)
+    assert not weights_allclose(w, w[:1])

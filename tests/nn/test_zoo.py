@@ -1,0 +1,84 @@
+"""Model zoo: architectures build, have sane shapes, and train."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, zoo
+
+
+def test_fmnist_cnn_small_forward(rng):
+    model = zoo.build_fmnist_cnn(rng, image_size=14, size="small")
+    out = model.logits(rng.normal(size=(2, 1, 14, 14)))
+    assert out.shape == (2, 10)
+
+
+def test_fmnist_cnn_paper_architecture(rng):
+    model = zoo.build_fmnist_cnn(rng, image_size=28, size="paper")
+    out = model.logits(rng.normal(size=(1, 1, 28, 28)))
+    assert out.shape == (1, 10)
+    # LEAF architecture: 2048-unit dense head dominates the parameter count
+    assert model.parameter_count > 2_000_000
+
+
+def test_cifar_cnn_small_forward(rng):
+    model = zoo.build_cifar_cnn(rng, image_size=16, num_classes=25, size="small")
+    out = model.logits(rng.normal(size=(2, 3, 16, 16)))
+    assert out.shape == (2, 25)
+
+
+def test_cifar_cnn_paper_forward(rng):
+    model = zoo.build_cifar_cnn(rng, image_size=32, num_classes=100, size="paper")
+    out = model.logits(rng.normal(size=(1, 3, 32, 32)))
+    assert out.shape == (1, 100)
+
+
+def test_poets_lstm_small_forward(rng):
+    model = zoo.build_poets_lstm(rng, vocab_size=30, size="small")
+    out = model.logits(rng.integers(0, 30, size=(4, 12)))
+    assert out.shape == (4, 30)
+
+
+def test_poets_lstm_paper_has_two_lstm_layers(rng):
+    from repro.nn.layers import LSTM
+
+    model = zoo.build_poets_lstm(rng, vocab_size=30, size="paper")
+    lstm_layers = [l for l in model.net.layers if isinstance(l, LSTM)]
+    assert len(lstm_layers) == 2
+    assert all(l.hidden == 256 for l in lstm_layers)
+
+
+def test_logistic_regression_is_linear(rng):
+    model = zoo.build_logistic_regression(rng, in_features=60, num_classes=10)
+    assert model.parameter_count == 60 * 10 + 10
+
+
+def test_unknown_size_rejected(rng):
+    with pytest.raises(ValueError, match="unknown size"):
+        zoo.build_fmnist_cnn(rng, size="huge")
+    with pytest.raises(ValueError, match="unknown size"):
+        zoo.build_cifar_cnn(rng, size="huge")
+    with pytest.raises(ValueError, match="unknown size"):
+        zoo.build_poets_lstm(rng, vocab_size=10, size="huge")
+
+
+def test_mlp_flattens_image_input(rng):
+    model = zoo.build_mlp(rng, in_features=100, hidden=(8,), num_classes=5)
+    out = model.logits(rng.normal(size=(3, 1, 10, 10)))
+    assert out.shape == (3, 5)
+
+
+def test_builders_deterministic_under_seed():
+    a = zoo.build_fmnist_cnn(np.random.default_rng(5), image_size=14, size="small")
+    b = zoo.build_fmnist_cnn(np.random.default_rng(5), image_size=14, size="small")
+    for wa, wb in zip(a.get_weights(), b.get_weights()):
+        np.testing.assert_array_equal(wa, wb)
+
+
+def test_small_cnn_trains_on_separable_data(rng):
+    model = zoo.build_fmnist_cnn(rng, image_size=14, size="small")
+    x = rng.normal(size=(60, 1, 14, 14))
+    y = (x.mean(axis=(1, 2, 3)) > 0).astype(int)
+    optimizer = SGD(0.1)
+    for _ in range(25):
+        model.train_local(x, y, optimizer, rng, epochs=1, batch_size=15)
+    assert model.accuracy(x, y) > 0.85

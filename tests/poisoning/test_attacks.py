@@ -1,0 +1,96 @@
+"""Label-flip and random-weight attacks."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_fmnist_by_writer
+from repro.poisoning import (
+    flip_labels_array,
+    poison_dataset_label_flip,
+    random_weight_update,
+)
+
+
+def test_flip_swaps_both_classes():
+    labels = np.array([3, 8, 3, 1, 8])
+    flipped = flip_labels_array(labels, 3, 8)
+    np.testing.assert_array_equal(flipped, [8, 3, 8, 1, 3])
+
+
+def test_flip_leaves_others_untouched():
+    labels = np.arange(10)
+    flipped = flip_labels_array(labels, 3, 8)
+    untouched = [i for i in range(10) if i not in (3, 8)]
+    np.testing.assert_array_equal(flipped[untouched], labels[untouched])
+
+
+def test_flip_is_involution(rng):
+    labels = rng.integers(0, 10, size=50)
+    np.testing.assert_array_equal(
+        flip_labels_array(flip_labels_array(labels, 3, 8), 3, 8), labels
+    )
+
+
+def test_flip_does_not_mutate_input():
+    labels = np.array([3, 8])
+    flip_labels_array(labels, 3, 8)
+    np.testing.assert_array_equal(labels, [3, 8])
+
+
+def test_flip_same_class_rejected():
+    with pytest.raises(ValueError):
+        flip_labels_array(np.array([1]), 3, 3)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_fmnist_by_writer(num_clients=10, samples_per_client=40, seed=0)
+
+
+def test_poison_fraction_respected(dataset):
+    poisoned, ids = poison_dataset_label_flip(
+        dataset, poisoned_fraction=0.3, seed=0
+    )
+    assert len(ids) == 3
+    assert poisoned.num_clients == dataset.num_clients
+
+
+def test_poison_zero_fraction(dataset):
+    _, ids = poison_dataset_label_flip(dataset, poisoned_fraction=0.0, seed=0)
+    assert ids == set()
+
+
+def test_poisoned_clients_have_flipped_labels(dataset):
+    poisoned, ids = poison_dataset_label_flip(dataset, poisoned_fraction=0.3, seed=0)
+    for client in poisoned.clients:
+        original = dataset.client(client.client_id)
+        if client.client_id in ids:
+            np.testing.assert_array_equal(
+                client.y_train, flip_labels_array(original.y_train, 3, 8)
+            )
+            np.testing.assert_array_equal(
+                client.metadata["y_train_original"], original.y_train
+            )
+            assert client.metadata["tags"] == {"poisoned": True}
+        else:
+            np.testing.assert_array_equal(client.y_train, original.y_train)
+            assert "tags" not in client.metadata
+
+
+def test_poison_does_not_mutate_original(dataset):
+    snapshot = {c.client_id: c.y_train.copy() for c in dataset.clients}
+    poison_dataset_label_flip(dataset, poisoned_fraction=0.5, seed=0)
+    for client in dataset.clients:
+        np.testing.assert_array_equal(client.y_train, snapshot[client.client_id])
+
+
+def test_poison_validation(dataset):
+    with pytest.raises(ValueError):
+        poison_dataset_label_flip(dataset, poisoned_fraction=1.5, seed=0)
+
+
+def test_random_weight_update_shapes(rng):
+    reference = [np.zeros((3, 2)), np.zeros(5)]
+    payload = random_weight_update(reference, rng)
+    assert [w.shape for w in payload] == [(3, 2), (5,)]
+    assert any(np.any(w != 0) for w in payload)

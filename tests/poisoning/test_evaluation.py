@@ -1,0 +1,113 @@
+"""Poisoning metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.data.base import ClientData
+from repro.nn import zoo
+from repro.poisoning import (
+    count_approved_poisoned,
+    flipped_prediction_rate,
+    network_flipped_prediction_rate,
+    poisoned_cluster_distribution,
+)
+
+
+def constant_class_model(target, num_classes=10, features=4):
+    """A model that always predicts ``target``."""
+    rng = np.random.default_rng(0)
+    model = zoo.build_mlp(rng, in_features=features, hidden=(4,), num_classes=num_classes)
+    weights = model.get_weights()
+    weights[-2][:] = 0.0  # final dense kernel
+    bias = np.full(num_classes, -10.0)
+    bias[target] = 10.0
+    weights[-1] = bias
+    model.set_weights(weights)
+    return model
+
+
+def client_with_labels(labels, client_id=0):
+    labels = np.asarray(labels)
+    x = np.zeros((len(labels), 4))
+    return ClientData(
+        client_id=client_id,
+        x_train=x.copy(),
+        y_train=labels.copy(),
+        x_test=x,
+        y_test=labels,
+        cluster_id=0,
+    )
+
+
+def test_flipped_rate_one_when_model_flips():
+    model = constant_class_model(8)
+    client = client_with_labels([3, 3, 3])
+    rate = flipped_prediction_rate(model, model.get_weights(), client)
+    assert rate == 1.0
+
+
+def test_flipped_rate_zero_when_model_correct():
+    model = constant_class_model(3)
+    client = client_with_labels([3, 3])
+    assert flipped_prediction_rate(model, model.get_weights(), client) == 0.0
+
+
+def test_flipped_rate_ignores_other_classes():
+    model = constant_class_model(8)
+    client = client_with_labels([3, 1, 5])  # only the single 3 counts
+    assert flipped_prediction_rate(model, model.get_weights(), client) == 1.0
+
+
+def test_flipped_rate_nan_without_target_classes():
+    model = constant_class_model(0)
+    client = client_with_labels([1, 2])
+    assert math.isnan(flipped_prediction_rate(model, model.get_weights(), client))
+
+
+def test_flipped_rate_uses_original_labels_for_poisoned_clients():
+    """A poisoned client's y_test says 8 where ground truth is 3; the rate is
+    measured against the stored originals."""
+    model = constant_class_model(8)
+    client = client_with_labels([8, 8])  # flipped labels on disk
+    client.metadata["y_test_original"] = np.array([3, 3])
+    rate = flipped_prediction_rate(model, model.get_weights(), client)
+    assert rate == 1.0  # truly 3s, predicted 8 -> flipped
+
+
+def test_network_rate_averages_and_skips_nan():
+    model = constant_class_model(8)
+    clients = {
+        0: client_with_labels([3, 3], client_id=0),   # rate 1.0
+        1: client_with_labels([8, 8], client_id=1),   # predicted 8 == label: 0.0
+        2: client_with_labels([1, 1], client_id=2),   # NaN, skipped
+    }
+    weights = {cid: model.get_weights() for cid in clients}
+    rate = network_flipped_prediction_rate(model, weights, clients)
+    assert rate == pytest.approx(0.5)
+
+
+def w():
+    return [np.zeros(1)]
+
+
+def test_count_approved_poisoned():
+    t = Tangle(w())
+    t.add(Transaction("p1", (GENESIS_ID,), w(), 7, 0))      # poisoned
+    t.add(Transaction("c1", ("p1",), w(), 1, 1))            # benign
+    t.add(Transaction("p2", ("c1",), w(), 7, 2))            # poisoned reference
+    assert count_approved_poisoned(t, "p2", {7}) == 2  # p2 itself + p1 in cone
+    assert count_approved_poisoned(t, "c1", {7}) == 1  # p1 only
+    assert count_approved_poisoned(t, "c1", set()) == 0
+
+
+def test_poisoned_cluster_distribution():
+    partition = {0: 0, 1: 0, 2: 1, 3: 1, 4: 1}
+    rows = poisoned_cluster_distribution(partition, {0, 2, 3})
+    assert rows == [
+        {"cluster": 0, "benign": 1, "poisoned": 1},
+        {"cluster": 1, "benign": 1, "poisoned": 2},
+    ]

@@ -1,0 +1,117 @@
+"""Property-based tests for the tangle and tip selection."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dag.random_walk import random_walk, sample_walk_start
+from repro.dag.tangle import Tangle
+from repro.dag.tip_selection import accuracy_walk_weights
+from repro.dag.transaction import GENESIS_ID, Transaction
+
+
+def w():
+    return [np.zeros(1)]
+
+
+def random_tangle(structure: list[tuple[int, int]]) -> Tangle:
+    """Build a tangle from (parent_choice_a, parent_choice_b) index pairs;
+    each new tx approves up to two of the already-existing transactions."""
+    tangle = Tangle(w())
+    ids = [GENESIS_ID]
+    for i, (a, b) in enumerate(structure):
+        parents = {ids[a % len(ids)], ids[b % len(ids)]}
+        tx = Transaction(f"t{i}", tuple(sorted(parents)), w(), i % 5, i)
+        tangle.add(tx)
+        ids.append(tx.tx_id)
+    return tangle
+
+
+tangle_structures = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(0, 100)), min_size=1, max_size=25
+)
+
+
+@given(tangle_structures)
+def test_tips_are_exactly_unapproved(structure):
+    tangle = random_tangle(structure)
+    tips = set(tangle.tips())
+    for tx in tangle.transactions():
+        has_approvers = bool(tangle.approvers(tx.tx_id))
+        assert (tx.tx_id in tips) == (not has_approvers)
+
+
+@given(tangle_structures)
+def test_acyclic_past_cones(structure):
+    tangle = random_tangle(structure)
+    for tx in tangle.transactions():
+        assert tx.tx_id not in tangle.past_cone(tx.tx_id)
+
+
+@given(tangle_structures)
+def test_cumulative_weight_monotone_along_edges(structure):
+    """An approved transaction's weight strictly exceeds each approver's:
+    its future cone is a strict superset (it contains the approver too)."""
+    tangle = random_tangle(structure)
+    for tx in tangle.transactions():
+        if tx.is_genesis:
+            continue
+        for parent in tx.parents:
+            assert tangle.cumulative_weight(parent) > tangle.cumulative_weight(
+                tx.tx_id
+            )
+
+
+@given(tangle_structures)
+def test_genesis_weight_counts_everything(structure):
+    tangle = random_tangle(structure)
+    assert tangle.cumulative_weight(GENESIS_ID) == len(tangle)
+
+
+@given(tangle_structures, st.integers(0, 2**32 - 1))
+def test_walks_always_end_at_tips(structure, seed):
+    tangle = random_tangle(structure)
+    rng = np.random.default_rng(seed)
+
+    def uniform(_node, approvers, step_rng):
+        return approvers[int(step_rng.integers(0, len(approvers)))]
+
+    start = sample_walk_start(tangle, rng, depth_range=(0, 10))
+    end = random_walk(tangle, start, uniform, rng)
+    assert tangle.is_tip(end)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    ),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.sampled_from(["standard", "dynamic"]),
+)
+def test_walk_weights_are_distribution(accuracies, alpha, normalization):
+    probs = accuracy_walk_weights(
+        np.array(accuracies), alpha, normalization=normalization
+    )
+    assert np.all(probs >= 0)
+    assert abs(probs.sum() - 1.0) < 1e-9
+    # best accuracy never has below-uniform probability
+    assert probs[int(np.argmax(accuracies))] >= 1.0 / len(accuracies) - 1e-9
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=2,
+        max_size=8,
+    ),
+)
+def test_dynamic_weights_invariant_to_affine_accuracy_transforms(accuracies):
+    """normalized* is scale- and shift-free in the accuracies."""
+    accs = np.array(accuracies)
+    if accs.max() - accs.min() < 1e-9:
+        return
+    transformed = 0.2 * accs + 0.35
+    a = accuracy_walk_weights(accs, 3.0, normalization="dynamic")
+    b = accuracy_walk_weights(transformed, 3.0, normalization="dynamic")
+    np.testing.assert_allclose(a, b, atol=1e-9)

@@ -1,0 +1,92 @@
+"""Property-based tests for graph metrics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.graph import WeightedGraph
+from repro.metrics.misclassification import misclassification_fraction
+from repro.metrics.modularity import louvain_communities, modularity
+from repro.metrics.pureness import expected_random_pureness
+
+
+def graph_from_edges(edges):
+    g = WeightedGraph()
+    for a, b, weight in edges:
+        g.add_edge(a, b, weight)
+    return g
+
+
+edge_lists = st.lists(
+    st.tuples(
+        st.integers(0, 9),
+        st.integers(0, 9),
+        st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(edge_lists)
+def test_modularity_bounded(edges):
+    g = graph_from_edges(edges)
+    partition = louvain_communities(g, seed=0)
+    q = modularity(g, partition)
+    assert -0.5 - 1e-9 <= q <= 1.0 + 1e-9
+
+
+@given(edge_lists)
+def test_louvain_covers_all_nodes(edges):
+    g = graph_from_edges(edges)
+    partition = louvain_communities(g, seed=0)
+    assert set(partition) == set(g.nodes())
+
+
+@given(edge_lists)
+def test_louvain_at_least_as_good_as_singletons(edges):
+    """Louvain's partition never scores below the all-singletons baseline."""
+    g = graph_from_edges(edges)
+    partition = louvain_communities(g, seed=0)
+    singletons = {n: i for i, n in enumerate(g.nodes())}
+    assert modularity(g, partition) >= modularity(g, singletons) - 1e-9
+
+
+@given(edge_lists)
+def test_handshake_property(edges):
+    g = graph_from_edges(edges)
+    degree_sum = sum(g.degree(n) for n in g.nodes())
+    assert abs(degree_sum - 2 * g.total_edge_weight()) < 1e-9
+
+
+@given(st.dictionaries(st.integers(0, 20), st.integers(0, 4), min_size=1))
+def test_expected_pureness_in_unit_interval(labels):
+    p = expected_random_pureness(labels)
+    assert 0.0 < p <= 1.0
+
+
+@given(st.dictionaries(st.integers(0, 20), st.integers(0, 4), min_size=1))
+def test_expected_pureness_minimized_by_balance(labels):
+    """Any distribution's collision probability >= 1/k for k clusters used."""
+    k = len(set(labels.values()))
+    assert expected_random_pureness(labels) >= 1.0 / k - 1e-12
+
+
+@given(
+    st.dictionaries(st.integers(0, 15), st.integers(0, 3), min_size=1),
+)
+def test_misclassification_bounded_and_zero_when_truth_matches(inferred):
+    truth = dict(inferred)  # inferred == truth: perfect clustering
+    assert misclassification_fraction(inferred, truth) == 0.0
+
+
+@given(
+    st.dictionaries(st.integers(0, 15), st.integers(0, 3), min_size=1),
+    st.data(),
+)
+def test_misclassification_in_unit_interval(inferred, data):
+    truth = {
+        client: data.draw(st.integers(0, 3), label=f"truth{client}")
+        for client in inferred
+    }
+    fraction = misclassification_fraction(inferred, truth)
+    assert 0.0 <= fraction < 1.0 or fraction <= 1.0

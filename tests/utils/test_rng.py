@@ -1,0 +1,72 @@
+"""RNG factory and helpers."""
+
+import numpy as np
+
+from repro.utils.rng import RngFactory, child_rng, ensure_rng
+
+
+def test_ensure_rng_accepts_seed():
+    a = ensure_rng(5)
+    b = ensure_rng(5)
+    assert a.integers(0, 100) == b.integers(0, 100)
+
+
+def test_ensure_rng_passes_through_generator():
+    rng = np.random.default_rng(0)
+    assert ensure_rng(rng) is rng
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_factory_same_key_same_stream():
+    streams = RngFactory(7)
+    a = streams.get("walk", 3)
+    b = streams.get("walk", 3)
+    assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+
+def test_factory_different_keys_differ():
+    streams = RngFactory(7)
+    draws = {
+        streams.get("walk", i).integers(0, 10**9) for i in range(20)
+    }
+    assert len(draws) == 20
+
+
+def test_factory_string_and_int_keys_independent():
+    streams = RngFactory(0)
+    a = streams.get("client", 1).integers(0, 10**9)
+    b = streams.get("walk", 1).integers(0, 10**9)
+    assert a != b
+
+
+def test_factory_seed_changes_streams():
+    a = RngFactory(1).get("x").integers(0, 10**9)
+    b = RngFactory(2).get("x").integers(0, 10**9)
+    assert a != b
+
+
+def test_factory_spawn_independent():
+    parent = RngFactory(3)
+    child = parent.spawn("sub")
+    assert isinstance(child, RngFactory)
+    assert child.seed != parent.seed
+
+
+def test_factory_get_does_not_advance_state():
+    """Creating streams must not consume randomness from one another."""
+    streams = RngFactory(9)
+    before = streams.get("a").integers(0, 10**9)
+    streams.get("b")  # interleaved creation
+    streams.get("c")
+    after = streams.get("a").integers(0, 10**9)
+    assert before == after
+
+
+def test_child_rng_deterministic():
+    rng = np.random.default_rng(4)
+    a = child_rng(rng, "k", 1).integers(0, 10**9)
+    b = child_rng(np.random.default_rng(4), "k", 1).integers(0, 10**9)
+    assert a == b

@@ -1,0 +1,59 @@
+"""Stopwatch and validation helpers."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_positive, check_probability
+
+
+def test_stopwatch_accumulates():
+    sw = Stopwatch()
+    with sw:
+        time.sleep(0.01)
+    first = sw.elapsed
+    with sw:
+        time.sleep(0.01)
+    assert sw.elapsed > first
+    assert len(sw.laps) == 2
+
+
+def test_stopwatch_mean_lap():
+    sw = Stopwatch()
+    with sw:
+        pass
+    with sw:
+        pass
+    assert sw.mean_lap == pytest.approx(sw.elapsed / 2)
+
+
+def test_stopwatch_mean_lap_empty_is_zero():
+    assert Stopwatch().mean_lap == 0.0
+
+
+def test_stopwatch_reset():
+    sw = Stopwatch()
+    with sw:
+        pass
+    sw.reset()
+    assert sw.elapsed == 0.0
+    assert sw.laps == []
+
+
+def test_check_positive():
+    assert check_positive("x", 1.5) == 1.5
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive("x", 0)
+    assert check_positive("x", 0, strict=False) == 0
+    with pytest.raises(ValueError):
+        check_positive("x", -1, strict=False)
+
+
+def test_check_probability():
+    assert check_probability("p", 0.0) == 0.0
+    assert check_probability("p", 1.0) == 1.0
+    with pytest.raises(ValueError):
+        check_probability("p", 1.01)
+    with pytest.raises(ValueError):
+        check_probability("p", -0.01)
