@@ -3,6 +3,11 @@
 from repro.experiments.fig12_13_14 import SCENARIOS
 
 
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
 def scenario_subset(*labels: str):
     """Select poisoning scenarios by label (see fig12_13_14.SCENARIOS)."""
     chosen = [s for s in SCENARIOS if s[0] in labels]

@@ -8,16 +8,19 @@ qualitative shape the paper reports.  Set ``REPRO_SCALE=default`` or
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
 
-from repro.experiments.scale import resolve_scale
+# Benchmark modules share helpers via ``benchmarks_shared``; under
+# --import-mode=importlib (the repo default) test directories are not put
+# on sys.path automatically, so do it here (conftests load first).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.experiments.scale import resolve_scale  # noqa: E402
 
 
 @pytest.fixture(scope="session")
 def scale():
     return resolve_scale()
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,6 +1,6 @@
 """Ablation benches for the design choices called out in DESIGN.md."""
 
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import ablations
 

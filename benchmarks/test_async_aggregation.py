@@ -1,6 +1,6 @@
 """Benches: asynchronous convergence and aggregation robustness."""
 
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import extensions
 

@@ -1,6 +1,6 @@
 """Bench: gossip learning vs the specializing DAG on clustered data."""
 
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import comparison_gossip
 

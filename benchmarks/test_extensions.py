@@ -1,6 +1,6 @@
 """Benches for the beyond-the-paper extensions."""
 
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import extensions
 

@@ -1,7 +1,7 @@
 """Figures 10 & 11: FedAvg vs DAG vs FedProx on synthetic(0.5, 0.5)."""
 
 import numpy as np
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import fig10_11
 

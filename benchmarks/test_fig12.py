@@ -1,7 +1,7 @@
 """Figure 12: flipped predictions under label-flip poisoning."""
 
 import numpy as np
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import fig12_13_14
 

@@ -1,7 +1,7 @@
 """Figure 13: poisoned transactions approved by the consensus."""
 
 import numpy as np
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import fig12_13_14
 from benchmarks_shared import scenario_subset

@@ -1,6 +1,6 @@
 """Figure 14: distribution of poisoned clients over inferred clusters."""
 
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import fig12_13_14
 from benchmarks_shared import scenario_subset

@@ -1,7 +1,7 @@
 """Figure 15: random-walk cost vs concurrently active clients."""
 
 import numpy as np
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import fig15
 

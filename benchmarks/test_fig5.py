@@ -1,6 +1,6 @@
 """Figure 5: choosing alpha via modularity / partitions / misclassification."""
 
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import fig5
 

@@ -1,7 +1,7 @@
 """Figure 6: accuracy vs rounds for alpha sweep (standard normalization)."""
 
 import numpy as np
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import fig6
 

@@ -1,7 +1,7 @@
 """Figure 7: the dynamic normalization (normalized*)."""
 
 import numpy as np
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import fig7
 

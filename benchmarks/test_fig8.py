@@ -1,7 +1,7 @@
 """Figure 8: the relaxed (15-20 % foreign data) FMNIST-clustered dataset."""
 
 import numpy as np
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import fig8
 

@@ -1,6 +1,6 @@
 """Figure 9: FedAvg vs Specializing DAG per-client accuracy distributions."""
 
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import fig9
 

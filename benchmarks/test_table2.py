@@ -1,6 +1,6 @@
 """Table 2: approval pureness across the three datasets."""
 
-from conftest import run_once
+from benchmarks_shared import run_once
 
 from repro.experiments import table2
 

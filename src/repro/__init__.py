@@ -8,9 +8,15 @@ Public API tour:
 - :mod:`repro.dag` — the tangle: transactions, tips, biased random walks;
 - :mod:`repro.fl` — :class:`~repro.fl.TangleLearning` (the specializing
   DAG) plus FedAvg / FedProx / gossip baselines;
+- :mod:`repro.substrate` — the round-execution layer: serial or
+  process-pool executors over per-client work units (the
+  ``DagConfig.parallelism`` knob);
 - :mod:`repro.metrics` — modularity, Louvain, pureness, misclassification;
 - :mod:`repro.poisoning` — label-flip attacks and robustness metrics;
 - :mod:`repro.experiments` — one runner per table/figure of the paper.
+
+``docs/architecture.md`` maps these layers and walks one simulated round
+through the execution substrate.
 
 Quickstart::
 
@@ -29,9 +35,9 @@ Quickstart::
     records = sim.run(10)
 """
 
-from repro import dag, data, experiments, fl, metrics, nn, poisoning, utils
+from repro import dag, data, experiments, fl, metrics, nn, poisoning, substrate, utils
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "dag",
@@ -41,6 +47,7 @@ __all__ = [
     "metrics",
     "nn",
     "poisoning",
+    "substrate",
     "utils",
     "__version__",
 ]

@@ -19,6 +19,15 @@ class Tangle:
     backwards in insertion order.  Walks move in the *opposite* direction
     of approvals, from older transactions towards the tips, via
     :meth:`approvers` (Algorithm 1's ``GetChildren``).
+
+    Cumulative weights (own weight plus the size of the future cone) are
+    maintained **lazily, then incrementally**: the index is built on the
+    first :meth:`cumulative_weight` query, after which every :meth:`add`
+    propagates ``+1`` along the new transaction's past cone — queries are
+    O(1) dictionary lookups instead of the future-cone BFS that made
+    weighted walks quadratic in tangle size, and runs that never query
+    weights pay nothing.  :meth:`invalidate_weight_index` returns to the
+    lazy state for bulk mutation paths.
     """
 
     def __init__(self, genesis_weights: list[np.ndarray]):
@@ -34,6 +43,13 @@ class Tangle:
         self._tips: set[str] = {GENESIS_ID}
         self._order: list[str] = [GENESIS_ID]
         self._counter = 0
+        # Lazy-then-incremental: the index is built on the first weight
+        # query and maintained incrementally from then on, so runs that
+        # never query weights (e.g. pure accuracy-selector simulations)
+        # pay nothing per add.
+        self._weights: dict[str, int] = {GENESIS_ID: 1}
+        self._weights_dirty = True
+        self._last_round_index = -1
 
     # ------------------------------------------------------------ queries
     def __contains__(self, tx_id: str) -> bool:
@@ -69,6 +85,17 @@ class Tangle:
     def is_tip(self, tx_id: str) -> bool:
         return tx_id in self._tips
 
+    @property
+    def last_round_index(self) -> int:
+        """Highest ``round_index`` of any non-genesis transaction (-1 if none).
+
+        Round indices are non-decreasing in both simulators, so a
+        :class:`~repro.dag.view.TangleView` whose bound is at least this
+        value sees the whole tangle and may answer weight queries straight
+        from the incremental index.
+        """
+        return self._last_round_index
+
     # ------------------------------------------------------------ mutation
     def next_tx_id(self, issuer: int) -> str:
         """Produce a unique transaction id."""
@@ -93,6 +120,11 @@ class Tangle:
             self._approvers[parent].append(transaction.tx_id)
             self._tips.discard(parent)
         self._tips.add(transaction.tx_id)
+        if transaction.round_index > self._last_round_index:
+            self._last_round_index = transaction.round_index
+        if not self._weights_dirty:
+            self._weights[transaction.tx_id] = 1
+            self._bump_past_cone(transaction.tx_id)
 
     # ----------------------------------------------------------- analysis
     def future_cone(self, tx_id: str) -> set[str]:
@@ -119,8 +151,45 @@ class Tangle:
             queue.extend(self._transactions[current].parents)
         return seen
 
+    # ----------------------------------------------------- weight index
+    def _bump_past_cone(self, tx_id: str) -> None:
+        """Propagate a new transaction's +1 to every ancestor's weight."""
+        for ancestor in self.past_cone(tx_id):
+            self._weights[ancestor] += 1
+
+    def invalidate_weight_index(self) -> None:
+        """Mark the weight index stale; it is rebuilt lazily on next query.
+
+        Bulk construction paths may call this before a run of
+        :meth:`add` calls to skip per-add propagation and pay for one
+        full rebuild instead.
+        """
+        self._weights_dirty = True
+
+    def _rebuild_weight_index(self) -> None:
+        self._weights = {tx_id: 1 for tx_id in self._order}
+        self._weights_dirty = False
+        for tx_id in self._order:
+            self._bump_past_cone(tx_id)
+
     def cumulative_weight(self, tx_id: str) -> int:
-        """Classic tangle weight: own weight plus all approving txs."""
+        """Classic tangle weight: own weight plus all approving txs.
+
+        Served from the incremental index in O(1); equal to
+        :meth:`recount_cumulative_weight` at all times (the randomized
+        index tests assert this invariant under interleaved mutation).
+        """
+        self.get(tx_id)  # raise on unknown ids
+        if self._weights_dirty:
+            self._rebuild_weight_index()
+        return self._weights[tx_id]
+
+    def recount_cumulative_weight(self, tx_id: str) -> int:
+        """Weight via a from-scratch future-cone BFS (the legacy path).
+
+        O(edges) per call; kept as the ground truth for index
+        verification and as the baseline in the substrate benchmarks.
+        """
         return 1 + len(self.future_cone(tx_id))
 
     def depth_from_tips(self, tx_id: str) -> int:

@@ -14,7 +14,7 @@ Three selectors are provided:
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
@@ -32,6 +32,7 @@ __all__ = [
 ]
 
 AccuracyFn = Callable[[str], float]
+BatchAccuracyFn = Callable[[Sequence[str]], np.ndarray]
 
 
 def normalize_standard(accuracies: np.ndarray) -> np.ndarray:
@@ -112,7 +113,9 @@ class WeightedTipSelector:
 
     Transition weights are ``exp(alpha * (w - max(w)))`` over the
     approvers' cumulative weights, the Markov-chain Monte Carlo rule of
-    Popov's tangle.
+    Popov's tangle.  Weight queries hit the tangle's incremental index
+    (O(1) per approver), so a walk is linear in its length rather than
+    quadratic in tangle size.
     """
 
     def __init__(self, alpha: float = 0.5, *, depth_range: tuple[int, int] = (15, 25)):
@@ -144,17 +147,32 @@ class WeightedTipSelector:
 class AccuracyTipSelector:
     """The paper's accuracy-biased tip selection (Algorithm 1).
 
-    ``accuracy_fn`` evaluates a transaction's model on the *selecting
-    client's* local test data; implementations should cache per
-    transaction since walks revisit candidates.  ``evaluation_counter``
-    (optional) is called once per model evaluation request, which the
-    scalability experiment uses to account walk cost.
+    Evaluation contract (the walk's hot path):
+
+    - ``accuracy_fn`` evaluates one transaction's model on the *selecting
+      client's* local test data.  Implementations **must** cache per
+      transaction id (as :meth:`repro.fl.client.Client.tx_accuracy`
+      does): walks revisit candidates constantly, a transaction's model
+      never changes, and an uncached function turns every walk step into
+      a full model evaluation.
+    - ``batch_accuracy_fn``, when given, is preferred over
+      ``accuracy_fn``: it receives all uncached-or-cached candidate ids
+      of a walk step at once and returns their accuracies as one array
+      (:meth:`repro.fl.client.Client.tx_accuracies`).  This collapses the
+      per-candidate call/rebuild overhead into a single batched request.
+    - ``evaluation_counter`` (optional) is called once per walk step with
+      the number of candidates considered — the scalability experiment
+      (Figure 15) uses it to account walk cost independently of caching.
+
+    At least one of ``accuracy_fn`` / ``batch_accuracy_fn`` is required;
+    both may be supplied (the batch function wins).
     """
 
     def __init__(
         self,
-        accuracy_fn: AccuracyFn,
+        accuracy_fn: AccuracyFn | None = None,
         *,
+        batch_accuracy_fn: BatchAccuracyFn | None = None,
         alpha: float = 10.0,
         normalization: str = "standard",
         depth_range: tuple[int, int] = (15, 25),
@@ -164,20 +182,30 @@ class AccuracyTipSelector:
             raise ValueError(f"unknown normalization {normalization!r}")
         if alpha < 0:
             raise ValueError("alpha must be >= 0")
+        if accuracy_fn is None and batch_accuracy_fn is None:
+            raise ValueError(
+                "one of accuracy_fn / batch_accuracy_fn is required"
+            )
         self.accuracy_fn = accuracy_fn
+        self.batch_accuracy_fn = batch_accuracy_fn
         self.alpha = alpha
         self.normalization = normalization
         self.depth_range = depth_range
         self.evaluation_counter = evaluation_counter
+
+    def _candidate_accuracies(self, approvers: list[str]) -> np.ndarray:
+        if self.batch_accuracy_fn is not None:
+            return np.asarray(self.batch_accuracy_fn(approvers), dtype=np.float64)
+        return np.array(
+            [self.accuracy_fn(a) for a in approvers], dtype=np.float64
+        )
 
     def _transition(
         self, _node: str, approvers: list[str], rng: np.random.Generator
     ) -> str:
         if self.evaluation_counter is not None:
             self.evaluation_counter(len(approvers))
-        accuracies = np.array(
-            [self.accuracy_fn(a) for a in approvers], dtype=np.float64
-        )
+        accuracies = self._candidate_accuracies(approvers)
         probs = accuracy_walk_weights(
             accuracies, self.alpha, normalization=self.normalization
         )

@@ -70,10 +70,18 @@ class TangleView:
         return tx_id in self and not self.approvers(tx_id)
 
     def cumulative_weight(self, tx_id: str) -> int:
-        """Own weight plus visible approving transactions."""
+        """Own weight plus visible approving transactions.
+
+        When the view's bound covers the whole tangle (no transaction is
+        hidden) the query is answered from the tangle's incremental
+        weight index in O(1); only genuinely truncated views pay for a
+        visibility-filtered BFS.
+        """
         from collections import deque
 
         self.get(tx_id)
+        if self.max_round >= self._tangle.last_round_index:
+            return self._tangle.cumulative_weight(tx_id)
         seen: set[str] = set()
         queue = deque(self.approvers(tx_id))
         while queue:

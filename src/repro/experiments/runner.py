@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable
 
 import numpy as np
@@ -163,12 +164,20 @@ def run_dag_with_metrics(
     clients_per_round: int,
     measure_every: int = 1,
     seed: int = 0,
+    parallelism: int | None = None,
 ) -> dict:
     """Run the DAG simulator, tracking specialization metrics over time.
 
     Returns a dict with per-round accuracy/loss series and, every
     ``measure_every`` rounds, the Section 4.3 community metrics.
+
+    ``parallelism`` (when given) overrides ``dag_config.parallelism`` —
+    the round-execution substrate knob: 1 serial, n > 1 a pool of n
+    worker processes, 0 machine-sized.  Results are identical across
+    settings for a fixed seed.
     """
+    if parallelism is not None:
+        dag_config = replace(dag_config, parallelism=parallelism)
     sim = TangleLearning(
         dataset,
         model_builder,
@@ -181,24 +190,27 @@ def run_dag_with_metrics(
     accuracy, loss, reference_acc = [], [], []
     metric_rounds, modularity_series, partitions_series = [], [], []
     misclassification_series, pureness_series = [], []
-    for round_index in range(rounds):
-        record = sim.run_round()
-        accuracy.append(record.mean_accuracy)
-        loss.append(record.mean_loss)
-        reference_acc.append(
-            float(np.mean(list(record.reference_accuracy.values())))
+    try:
+        for round_index in range(rounds):
+            record = sim.run_round()
+            accuracy.append(record.mean_accuracy)
+            loss.append(record.mean_loss)
+            reference_acc.append(
+                float(np.mean(list(record.reference_accuracy.values())))
+            )
+            if (round_index + 1) % measure_every == 0 or round_index == rounds - 1:
+                report = analyze_specialization(sim.tangle, labels, seed=seed)
+                metric_rounds.append(round_index)
+                modularity_series.append(report.modularity)
+                partitions_series.append(report.num_partitions)
+                misclassification_series.append(report.misclassification)
+                pureness_series.append(report.pureness)
+        final = analyze_specialization(sim.tangle, labels, seed=seed)
+        late_pureness = approval_pureness(
+            sim.tangle, labels, since_round=rounds // 2
         )
-        if (round_index + 1) % measure_every == 0 or round_index == rounds - 1:
-            report = analyze_specialization(sim.tangle, labels, seed=seed)
-            metric_rounds.append(round_index)
-            modularity_series.append(report.modularity)
-            partitions_series.append(report.num_partitions)
-            misclassification_series.append(report.misclassification)
-            pureness_series.append(report.pureness)
-    final = analyze_specialization(sim.tangle, labels, seed=seed)
-    late_pureness = approval_pureness(
-        sim.tangle, labels, since_round=rounds // 2
-    )
+    finally:
+        sim.close()  # release worker processes; pools are recreated on reuse
     return {
         "accuracy": accuracy,
         "loss": loss,

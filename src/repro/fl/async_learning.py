@@ -29,11 +29,6 @@ from typing import Callable
 import numpy as np
 
 from repro.dag.tangle import Tangle
-from repro.dag.tip_selection import (
-    AccuracyTipSelector,
-    RandomTipSelector,
-    WeightedTipSelector,
-)
 from repro.dag.transaction import Transaction
 from repro.data.base import FederatedDataset
 from repro.fl.aggregation import get_aggregator
@@ -267,17 +262,12 @@ class AsyncTangleLearning:
 
     # -------------------------------------------------------------- queries
     def _make_selector(self, client: Client):
-        cfg = self.dag_config
-        if cfg.selector == "random":
-            return RandomTipSelector()
-        if cfg.selector == "weighted":
-            return WeightedTipSelector(cfg.weighted_alpha, depth_range=cfg.depth_range)
-        return AccuracyTipSelector(
-            lambda tx_id: client.tx_accuracy(self.tangle, tx_id),
-            alpha=cfg.alpha,
-            normalization=cfg.normalization,
-            depth_range=cfg.depth_range,
-        )
+        """Delegates to the substrate's shared selector wiring, so the
+        async simulator gets the same batched, cached accuracy path as
+        the round-based one."""
+        from repro.substrate import build_selector
+
+        return build_selector(client, self.tangle, self.dag_config)
 
     def accuracy_timeline(self, bucket: float = 1.0) -> list[tuple[float, float]]:
         """Mean published-model accuracy per time bucket."""

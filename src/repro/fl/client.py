@@ -100,6 +100,11 @@ class Client:
         With personalization enabled, the transaction's model is evaluated
         with this client's personal tail grafted on — the client judges
         foreign bodies by how well they serve *its* head.
+
+        ``tangle`` may be any object with a ``get(tx_id)`` method (a
+        :class:`~repro.dag.tangle.Tangle` or one of its views); the cache
+        is keyed by transaction id alone, which is sound because a
+        transaction's model never changes.
         """
         cached = self._tx_accuracy_cache.get(tx_id)
         if cached is not None:
@@ -108,6 +113,34 @@ class Client:
         accuracy = self.accuracy_of_weights(weights)
         self._tx_accuracy_cache[tx_id] = accuracy
         return accuracy
+
+    def tx_accuracies(self, tangle: Tangle, tx_ids: list[str]) -> np.ndarray:
+        """Batched :meth:`tx_accuracy` over all of ``tx_ids``.
+
+        The walk's preferred evaluation entry point: one call per walk
+        step covers every candidate approver (cached ids are dictionary
+        lookups, the rest evaluate once and populate the cache), and it
+        is the seam where a future backend can evaluate several candidate
+        models in a single fused forward pass.  Returns accuracies in
+        the order of ``tx_ids``.
+        """
+        return np.array(
+            [self.tx_accuracy(tangle, tx_id) for tx_id in tx_ids],
+            dtype=np.float64,
+        )
+
+    def tx_accuracy_cache(self) -> dict[str, float]:
+        """Snapshot of the cached transaction evaluations.
+
+        The substrate ships this across process boundaries so a worker's
+        warmed cache survives into the next round on the coordinator's
+        canonical client.
+        """
+        return dict(self._tx_accuracy_cache)
+
+    def restore_tx_accuracy_cache(self, entries: dict[str, float]) -> None:
+        """Replace the evaluation cache with ``entries`` (copied)."""
+        self._tx_accuracy_cache = dict(entries)
 
     def reset_cache(self) -> None:
         """Drop cached transaction evaluations (e.g. when data changes)."""

@@ -95,6 +95,11 @@ class DagConfig:
     - ``aggregator`` selects the parent-model merge: ``"mean"`` (the
       paper), ``"median"``, or ``"trimmed_mean"`` (robust variants that
       pair with ``num_tips > 2``).
+    - ``parallelism`` selects the round-execution substrate
+      (:mod:`repro.substrate`): ``1`` (default) runs each round's
+      per-client work serially, ``n > 1`` fans it out over ``n`` worker
+      processes, and ``0`` sizes the pool to the machine.  Results are
+      bit-identical across settings for a fixed seed.
     """
 
     alpha: float = 10.0
@@ -107,6 +112,7 @@ class DagConfig:
     personal_params: int = 0
     visibility_delay: int = 0
     aggregator: str = "mean"
+    parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
@@ -123,6 +129,8 @@ class DagConfig:
             raise ValueError("personal_params must be >= 0")
         if self.visibility_delay < 0:
             raise ValueError("visibility_delay must be >= 0")
+        if self.parallelism < 0:
+            raise ValueError("parallelism must be >= 0 (0 = machine-sized)")
         from repro.fl.aggregation import AGGREGATORS
 
         if self.aggregator not in AGGREGATORS:

@@ -4,9 +4,22 @@ Discrete-round simulation: in every round a sample of clients each (1)
 runs the biased random walk twice to select two tips, (2) averages the two
 tip models, (3) trains the average on local data, and (4) publishes the
 result as a new transaction approving the two tips — if it beats the
-reference (consensus) model on local test data.  New transactions become
-visible to others only at the end of the round, which models concurrent
-publication.
+reference (consensus) model on local test data.
+
+Visibility model (**freeze at round end**): every client in round *r*
+reads the tangle exactly as it stood at the end of round *r - 1* — new
+transactions are collected while the round runs and appended only at the
+round barrier, which models concurrent publication.  Because the view is
+frozen, the per-client work of a round is embarrassingly parallel; the
+simulator expresses it as :mod:`repro.substrate` work units and hands
+them to an executor chosen by ``DagConfig.parallelism`` (serial by
+default, process pool for ``parallelism > 1`` — bit-identical results
+either way for a fixed seed).
+
+Walk-evaluation contract: each client's accuracy lookups go through its
+per-transaction cache (:meth:`repro.fl.client.Client.tx_accuracies`, the
+batched API the accuracy selector prefers); caching is sound because a
+transaction's model never changes once published.
 """
 
 from __future__ import annotations
@@ -16,12 +29,7 @@ from typing import Callable
 import numpy as np
 
 from repro.dag.tangle import Tangle
-from repro.dag.tip_selection import (
-    AccuracyTipSelector,
-    RandomTipSelector,
-    TipSelector,
-    WeightedTipSelector,
-)
+from repro.dag.tip_selection import TipSelector
 from repro.dag.transaction import Transaction
 from repro.dag.view import TangleView
 from repro.data.base import FederatedDataset
@@ -30,8 +38,16 @@ from repro.fl.client import Client
 from repro.fl.config import DagConfig, TrainingConfig
 from repro.fl.records import RoundRecord
 from repro.nn.model import Classifier
+from repro.substrate import (
+    ClientWorkUnit,
+    Executor,
+    RoundContext,
+    apply_result,
+    build_selector,
+    execute_unit,
+    make_executor,
+)
 from repro.utils.rng import RngFactory
-from repro.utils.timing import Stopwatch
 
 __all__ = ["TangleLearning"]
 
@@ -51,13 +67,18 @@ class TangleLearning:
         clients_per_round: int = 10,
         seed: int = 0,
         attackers: dict[int, str] | None = None,
+        executor: Executor | None = None,
     ):
         """``attackers`` maps client id -> attack type.  Supported:
         ``"random_weights"`` — the client publishes randomly drawn weights
         instead of training (the first attack of the Section 4.4 threat
         model).  Attackers approve uniformly random tips: as the paper
         argues, an attacker targeting the whole network would not use the
-        accuracy-aware selection."""
+        accuracy-aware selection.
+
+        ``executor`` overrides the round-execution strategy; by default
+        one is built from ``dag_config.parallelism`` via
+        :func:`repro.substrate.make_executor`."""
         self.dataset = dataset
         self.dag_config = dag_config
         self.clients_per_round = min(clients_per_round, dataset.num_clients)
@@ -85,27 +106,26 @@ class TangleLearning:
                 raise ValueError(f"unknown attack type {attack!r}")
         self._sampler = self._rngs.get("round-sampler")
         self._aggregate = get_aggregator(dag_config.aggregator)
+        self.executor: Executor = executor or make_executor(dag_config.parallelism)
         self.round_index = 0
         self.history: list[RoundRecord] = []
+
+    def close(self) -> None:
+        """Release executor resources (worker processes), if any."""
+        self.executor.close()
 
     # ------------------------------------------------------------ selectors
     def make_selector(
         self, client: Client, evaluation_counter: Callable[[int], None] | None = None
     ) -> TipSelector:
-        """Tip selector for ``client`` according to the protocol config."""
-        cfg = self.dag_config
-        if cfg.selector == "random":
-            return RandomTipSelector()
-        if cfg.selector == "weighted":
-            return WeightedTipSelector(
-                cfg.weighted_alpha, depth_range=cfg.depth_range
-            )
-        return AccuracyTipSelector(
-            lambda tx_id: client.tx_accuracy(self.tangle, tx_id),
-            alpha=cfg.alpha,
-            normalization=cfg.normalization,
-            depth_range=cfg.depth_range,
-            evaluation_counter=evaluation_counter,
+        """Tip selector for ``client`` according to the protocol config.
+
+        Delegates to :func:`repro.substrate.build_selector`, the single
+        place that wires the protocol config to a selector (used both
+        here and inside executor work units).
+        """
+        return build_selector(
+            client, self.tangle, self.dag_config, evaluation_counter
         )
 
     # -------------------------------------------------------------- rounds
@@ -122,25 +142,17 @@ class TangleLearning:
             return self.tangle
         return TangleView(self.tangle, self.round_index - 1 - delay)
 
-    def _attacker_transaction(
-        self, client_id: int, view, rng: np.random.Generator
-    ) -> Transaction:
-        """A random-weights attack update approving uniformly random tips."""
-        tips = RandomTipSelector().select_tips(view, self.dag_config.num_tips, rng)
-        genesis = self.tangle.genesis.model_weights
-        payload = [rng.normal(0.0, 1.0, size=w.shape) for w in genesis]
-        return Transaction(
-            tx_id=self.tangle.next_tx_id(client_id),
-            parents=tuple(dict.fromkeys(tips)),
-            model_weights=payload,
-            issuer=client_id,
-            round_index=self.round_index,
-            tags={"malicious": True},
-        )
-
     def run_round(self) -> RoundRecord:
-        """Simulate one discrete round; returns its record."""
-        cfg = self.dag_config
+        """Simulate one discrete round; returns its record.
+
+        The round is planned as one work unit per active client over the
+        frozen :meth:`_selection_view`, evaluated by the configured
+        executor, and committed at the barrier: state deltas fold back
+        into the canonical clients, then transaction ids are assigned and
+        pending transactions appended in active-client order — the same
+        order the historical serial loop produced, so records and tangles
+        are identical regardless of executor.
+        """
         active_ids = sorted(
             self._sampler.choice(
                 sorted(self.clients),
@@ -149,60 +161,52 @@ class TangleLearning:
             ).tolist()
         )
         record = RoundRecord(round_index=self.round_index, active_clients=active_ids)
-        pending: list[Transaction] = []
-        view = self._selection_view()
-
-        for client_id in active_ids:
-            client = self.clients[client_id]
-            walk_rng = self._rngs.get("walk", self.round_index, client_id)
-
-            if client_id in self.attackers:
-                pending.append(
-                    self._attacker_transaction(client_id, view, walk_rng)
-                )
-                continue
-
-            evaluations = 0
-
-            def count(candidates: int) -> None:
-                nonlocal evaluations
-                evaluations += candidates
-
-            selector = self.make_selector(client, evaluation_counter=count)
-            stopwatch = Stopwatch()
-            with stopwatch:
-                tips = selector.select_tips(view, cfg.num_tips, walk_rng)
-            record.walk_duration[client_id] = stopwatch.elapsed
-            record.walk_evaluations[client_id] = evaluations
-
-            parent_models = [self.tangle.get(t).model_weights for t in tips]
-            reference = client.apply_personalization(
-                self._aggregate(parent_models)
+        context = RoundContext(
+            view=self._selection_view(),
+            config=self.dag_config,
+            rng_factory=self._rngs,
+            # in-process executors mutate the canonical clients directly;
+            # snapshot/restore is only needed across process boundaries
+            capture_state=not getattr(self.executor, "shares_memory", False),
+        )
+        units = [
+            ClientWorkUnit(
+                client_id=client_id,
+                round_index=self.round_index,
+                attack=self.attackers.get(client_id),
             )
-            _, reference_accuracy = client.evaluate_weights(reference)
-            record.reference_accuracy[client_id] = reference_accuracy
+            for client_id in active_ids
+        ]
+        payloads = [
+            (
+                context,
+                None if unit.attack is not None else self.clients[unit.client_id],
+                unit,
+            )
+            for unit in units
+        ]
+        results = self.executor.map(execute_unit, payloads)
 
-            trained, _train_loss = client.train(reference)
-            client.update_personal_tail(trained)
-            test_loss, test_accuracy = client.evaluate_weights(trained)
-            record.client_accuracy[client_id] = test_accuracy
-            record.client_loss[client_id] = test_loss
-
-            if (not cfg.publish_gate) or test_accuracy >= reference_accuracy:
-                unique_parents = tuple(dict.fromkeys(tips))
+        for unit, result in zip(units, results):
+            client_id = result.client_id
+            if unit.attack is None:  # honest client bookkeeping
+                apply_result(self.clients[client_id], result)
+                record.walk_duration[client_id] = result.walk_duration
+                record.walk_evaluations[client_id] = result.walk_evaluations
+                record.reference_accuracy[client_id] = result.reference_accuracy
+                record.client_accuracy[client_id] = result.test_accuracy
+                record.client_loss[client_id] = result.test_loss
+            if result.publish:
                 tx = Transaction(
                     tx_id=self.tangle.next_tx_id(client_id),
-                    parents=unique_parents,
-                    model_weights=trained,
+                    parents=result.parents,
+                    model_weights=result.model_weights,
                     issuer=client_id,
                     round_index=self.round_index,
-                    tags=dict(self.clients[client_id].data.metadata.get("tags", {})),
+                    tags=result.tags,
                 )
-                pending.append(tx)
-
-        for tx in pending:
-            self.tangle.add(tx)
-            record.published.append(tx.tx_id)
+                self.tangle.add(tx)
+                record.published.append(tx.tx_id)
 
         self.round_index += 1
         self.history.append(record)

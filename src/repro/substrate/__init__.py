@@ -1,0 +1,51 @@
+"""repro.substrate — the round-execution layer.
+
+The federated simulators (:mod:`repro.fl`) describe *what* happens in a
+round; this package decides *how* that work runs.  The split follows the
+middleware tradition of separating the coordination substrate from
+application logic: simulators build a round plan of independent
+per-client work units over a frozen tangle view, and an executor
+evaluates them — serially or across a process pool — with bit-identical
+results for a fixed seed.
+
+- :mod:`repro.substrate.executor` — :class:`Executor` strategies
+  (:class:`SerialExecutor`, :class:`ParallelExecutor`,
+  :func:`make_executor`); selected through the ``parallelism`` knob of
+  :class:`repro.fl.config.DagConfig`.
+- :mod:`repro.substrate.round_plan` — picklable work units, the shared
+  :class:`RoundContext`, :func:`execute_unit`, and the state-delta
+  machinery that folds worker results back into coordinator clients.
+
+See ``docs/architecture.md`` for the layer map and a walkthrough of one
+round through this substrate.
+"""
+
+from repro.substrate.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.substrate.round_plan import (
+    ClientRoundResult,
+    ClientStateDelta,
+    ClientWorkUnit,
+    RoundContext,
+    apply_result,
+    build_selector,
+    execute_unit,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "ClientWorkUnit",
+    "ClientStateDelta",
+    "ClientRoundResult",
+    "RoundContext",
+    "build_selector",
+    "execute_unit",
+    "apply_result",
+]

@@ -1,0 +1,146 @@
+"""Executors: how a round's per-client work units get run.
+
+The simulators describe *what* each active client does in a round
+(:mod:`repro.substrate.round_plan`); an executor decides *how* those
+descriptions are evaluated — in-process one after another
+(:class:`SerialExecutor`) or fanned out over worker processes
+(:class:`ParallelExecutor`).  Both produce the same results for the same
+inputs: work units are pure functions of a frozen tangle view plus
+per-client state, and every random draw comes from a stream keyed by
+``(round, client)``, so evaluation order cannot leak into the outcome.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Protocol, Sequence, TypeVar
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor(Protocol):
+    """Strategy for evaluating a batch of independent work units."""
+
+    #: Number of concurrent workers this executor targets (1 = serial).
+    parallelism: int
+
+    #: True when work units run on the caller's own objects (no pickling),
+    #: so coordinators can skip state snapshot/restore round-trips.
+    shares_memory: bool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Evaluate ``fn`` over ``items``, preserving input order."""
+        ...
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+        ...
+
+
+class SerialExecutor:
+    """Evaluate work units one after another in the calling process.
+
+    The reference implementation: the parallel executor is correct
+    exactly when it is indistinguishable from this one.
+    """
+
+    parallelism = 1
+    shares_memory = True
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ParallelExecutor:
+    """Evaluate work units concurrently in a process pool.
+
+    Uses :class:`concurrent.futures.ProcessPoolExecutor` with the
+    ``fork`` start method where available (cheap workers sharing the
+    parent's loaded modules) and the platform default elsewhere.  The
+    pool is created lazily on first use and reused across rounds; call
+    :meth:`close` (or use the executor as a context manager) to shut the
+    workers down.
+
+    ``fn`` and the items must be picklable; items are distributed in
+    contiguous chunks so per-round payload shared between units is
+    serialized once per chunk rather than once per unit.
+    """
+
+    shares_memory = False
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.parallelism = workers or (os.cpu_count() or 2)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.parallelism, mp_context=context
+            )
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:  # pool overhead buys nothing
+            return [fn(items[0])]
+        chunksize = max(1, math.ceil(len(items) / self.parallelism))
+        return list(self._ensure_pool().map(fn, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_executor(parallelism: int) -> Executor:
+    """Executor for a ``parallelism`` knob value.
+
+    ``1`` (the default everywhere) is the serial reference path, ``n > 1``
+    a process pool with ``n`` workers, and ``0`` a process pool sized to
+    the machine (``os.cpu_count()``).
+    """
+    if parallelism < 0:
+        raise ValueError(f"parallelism must be >= 0, got {parallelism}")
+    if parallelism == 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers=parallelism or None)

@@ -1,0 +1,249 @@
+"""Round plans: the per-client work of one simulated round, made portable.
+
+One round of DAG learning decomposes into independent *work units* — for
+each active client: two biased walks over a **frozen** end-of-last-round
+tangle view, local training from the aggregated tip models, and the
+publish decision.  Nothing a client does in round *r* can observe
+anything published in round *r* (concurrent publication is the paper's
+visibility model), so the units are embarrassingly parallel.
+
+This module gives the units an explicit, picklable form so any
+:class:`~repro.substrate.executor.Executor` can evaluate them:
+
+- :class:`ClientWorkUnit` — which client, which round, honest or attack;
+- :class:`RoundContext` — everything shared by the round's units (the
+  frozen view, protocol config, the rng factory seed);
+- :func:`execute_unit` — runs one unit to a :class:`ClientRoundResult`;
+- :func:`apply_result` — folds a result back into the canonical client.
+
+Determinism: the walk rng is keyed ``("walk", round, client)`` via
+:class:`~repro.utils.rng.RngFactory`, and training randomness comes from
+the client's own generator whose state travels inside the (possibly
+copied) :class:`~repro.fl.client.Client`.  A worker process therefore
+draws exactly the numbers the serial path would, and
+:class:`ClientStateDelta` carries the advanced state back so the next
+round starts identically — serial and parallel execution produce
+bit-identical round records for a fixed seed.
+
+Transaction ids are **not** assigned inside units: the id counter is
+shared tangle state, so the coordinator assigns ids after the fact, in
+active-client order over the units that chose to publish — the exact
+order the serial loop produced historically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.dag.tip_selection import (
+    AccuracyTipSelector,
+    RandomTipSelector,
+    TipSelector,
+    WeightedTipSelector,
+)
+from repro.fl.aggregation import get_aggregator
+from repro.fl.config import DagConfig
+from repro.utils.rng import RngFactory
+from repro.utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # imported lazily to keep the layer boundary clean
+    from repro.fl.client import Client
+
+__all__ = [
+    "ClientWorkUnit",
+    "ClientStateDelta",
+    "ClientRoundResult",
+    "RoundContext",
+    "build_selector",
+    "execute_unit",
+    "apply_result",
+]
+
+
+def build_selector(
+    client: "Client",
+    store,
+    config: DagConfig,
+    evaluation_counter: Callable[[int], None] | None = None,
+) -> TipSelector:
+    """Tip selector for ``client`` per the protocol config.
+
+    ``store`` is any tangle-like object (:class:`~repro.dag.tangle.Tangle`
+    or a view) used to resolve transaction models for accuracy
+    evaluation.  The accuracy selector is wired to the client's *batched*
+    cached evaluation (:meth:`~repro.fl.client.Client.tx_accuracies`), the
+    contract :class:`~repro.dag.tip_selection.AccuracyTipSelector`
+    documents.
+    """
+    if config.selector == "random":
+        return RandomTipSelector()
+    if config.selector == "weighted":
+        return WeightedTipSelector(
+            config.weighted_alpha, depth_range=config.depth_range
+        )
+    return AccuracyTipSelector(
+        batch_accuracy_fn=lambda tx_ids: client.tx_accuracies(store, tx_ids),
+        alpha=config.alpha,
+        normalization=config.normalization,
+        depth_range=config.depth_range,
+        evaluation_counter=evaluation_counter,
+    )
+
+
+@dataclass(frozen=True)
+class ClientWorkUnit:
+    """One client's slice of a round: who works, and how."""
+
+    client_id: int
+    round_index: int
+    attack: str | None = None  # None = honest; "random_weights" = attacker
+
+
+@dataclass
+class ClientStateDelta:
+    """Client-side state advanced by a unit, to fold back at the barrier.
+
+    Only captured for executors that cross a process boundary (the unit
+    ran on a pickled copy; the delta is how the coordinator's client
+    catches up).  In-process executors mutate the canonical client
+    directly and skip the snapshot (``RoundContext.capture_state``).
+    """
+
+    rng_state: dict
+    tx_accuracy_cache: dict[str, float]
+    evaluations: int
+    personal_tail: list[np.ndarray] | None
+
+
+@dataclass
+class ClientRoundResult:
+    """Everything a work unit produced, before tangle mutation."""
+
+    client_id: int
+    publish: bool
+    parents: tuple[str, ...] = ()
+    model_weights: list[np.ndarray] | None = None
+    tags: dict = field(default_factory=dict)
+    reference_accuracy: float | None = None
+    test_accuracy: float | None = None
+    test_loss: float | None = None
+    walk_duration: float | None = None
+    walk_evaluations: int | None = None
+    state: ClientStateDelta | None = None
+
+
+@dataclass(frozen=True)
+class RoundContext:
+    """Round-shared inputs: the frozen view and protocol parameters.
+
+    ``view`` is whatever the simulator's visibility rule exposes for the
+    round (the raw tangle when there is no propagation delay); it must
+    not change while units execute.  ``rng_factory`` reconstructs the
+    per-``(round, client)`` walk streams identically in any process.
+    ``capture_state`` requests :class:`ClientStateDelta` snapshots in the
+    results; coordinators set it to ``False`` for executors that run
+    units on the canonical objects (``shares_memory``), where the
+    snapshot/restore round-trip would copy growing caches for nothing.
+    """
+
+    view: object
+    config: DagConfig
+    rng_factory: RngFactory
+    capture_state: bool = True
+
+
+def _execute_attack(
+    context: RoundContext, unit: ClientWorkUnit, rng: np.random.Generator
+) -> ClientRoundResult:
+    """The random-weights attack: random tips, random payload."""
+    tips = RandomTipSelector().select_tips(
+        context.view, context.config.num_tips, rng
+    )
+    genesis = context.view.genesis.model_weights
+    payload = [rng.normal(0.0, 1.0, size=w.shape) for w in genesis]
+    return ClientRoundResult(
+        client_id=unit.client_id,
+        publish=True,
+        parents=tuple(dict.fromkeys(tips)),
+        model_weights=payload,
+        tags={"malicious": True},
+    )
+
+
+def execute_unit(payload: tuple[RoundContext, "Client | None", ClientWorkUnit]) -> ClientRoundResult:
+    """Run one work unit; pure apart from mutating the given client.
+
+    Takes a single ``(context, client, unit)`` tuple so executors can map
+    it directly (``client`` is ``None`` for attack units, which carry no
+    client state).
+    """
+    context, client, unit = payload
+    config = context.config
+    walk_rng = context.rng_factory.get("walk", unit.round_index, unit.client_id)
+
+    if unit.attack is not None:
+        return _execute_attack(context, unit, walk_rng)
+    assert client is not None
+
+    evaluations = 0
+
+    def count(candidates: int) -> None:
+        nonlocal evaluations
+        evaluations += candidates
+
+    selector = build_selector(client, context.view, config, count)
+    stopwatch = Stopwatch()
+    with stopwatch:
+        tips = selector.select_tips(context.view, config.num_tips, walk_rng)
+
+    parent_models = [context.view.get(t).model_weights for t in tips]
+    aggregate = get_aggregator(config.aggregator)
+    reference = client.apply_personalization(aggregate(parent_models))
+    _, reference_accuracy = client.evaluate_weights(reference)
+
+    trained, _train_loss = client.train(reference)
+    client.update_personal_tail(trained)
+    test_loss, test_accuracy = client.evaluate_weights(trained)
+
+    publish = (not config.publish_gate) or test_accuracy >= reference_accuracy
+    state = None
+    if context.capture_state:
+        state = ClientStateDelta(
+            rng_state=client.rng.bit_generator.state,
+            tx_accuracy_cache=client.tx_accuracy_cache(),
+            evaluations=client.evaluations,
+            personal_tail=client.personal_tail,
+        )
+    return ClientRoundResult(
+        client_id=unit.client_id,
+        publish=publish,
+        parents=tuple(dict.fromkeys(tips)) if publish else (),
+        model_weights=trained if publish else None,
+        tags=dict(client.data.metadata.get("tags", {})),
+        reference_accuracy=reference_accuracy,
+        test_accuracy=test_accuracy,
+        test_loss=test_loss,
+        walk_duration=stopwatch.elapsed,
+        walk_evaluations=evaluations,
+        state=state,
+    )
+
+
+def apply_result(client: "Client", result: ClientRoundResult) -> None:
+    """Fold a unit's state delta back into the canonical client.
+
+    Idempotent for serial execution (the client already holds this
+    state); for parallel execution it transfers the worker copy's
+    advanced rng stream, warmed evaluation cache, evaluation count, and
+    personal tail.
+    """
+    delta = result.state
+    if delta is None:
+        return
+    client.rng.bit_generator.state = delta.rng_state
+    client.restore_tx_accuracy_cache(delta.tx_accuracy_cache)
+    client.evaluations = delta.evaluations
+    client.personal_tail = delta.personal_tail

@@ -1,0 +1,48 @@
+"""Unit tests for the executor layer."""
+
+import pytest
+
+from repro.substrate import ParallelExecutor, SerialExecutor, make_executor
+
+
+def square(x):
+    return x * x
+
+
+def test_serial_map_preserves_order():
+    ex = SerialExecutor()
+    assert ex.map(square, [3, 1, 2]) == [9, 1, 4]
+    ex.close()  # idempotent no-op
+
+
+def test_make_executor_selects_strategy():
+    assert isinstance(make_executor(1), SerialExecutor)
+    parallel = make_executor(3)
+    assert isinstance(parallel, ParallelExecutor)
+    assert parallel.parallelism == 3
+    machine = make_executor(0)
+    assert isinstance(machine, ParallelExecutor)
+    assert machine.parallelism >= 1
+    with pytest.raises(ValueError):
+        make_executor(-1)
+
+
+def test_parallel_map_matches_serial():
+    with ParallelExecutor(workers=2) as ex:
+        assert ex.map(square, list(range(10))) == [square(x) for x in range(10)]
+        # empty and singleton fast paths
+        assert ex.map(square, []) == []
+        assert ex.map(square, [5]) == [25]
+
+
+def test_parallel_pool_survives_close_and_reuse():
+    ex = ParallelExecutor(workers=2)
+    assert ex.map(square, [1, 2]) == [1, 4]
+    ex.close()
+    assert ex.map(square, [3, 4]) == [9, 16]
+    ex.close()
+
+
+def test_parallel_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ParallelExecutor(workers=0)
