@@ -7,6 +7,7 @@ uniform random, cumulative-weight biased, and the paper's accuracy-biased
 walk — live in :mod:`repro.dag.tip_selection`.
 """
 
+from repro.dag.arena import WeightArena
 from repro.dag.transaction import Transaction, GENESIS_ID
 from repro.dag.tangle import Tangle
 from repro.dag.view import TangleView
@@ -24,6 +25,7 @@ from repro.dag.tip_selection import (
 )
 
 __all__ = [
+    "WeightArena",
     "Transaction",
     "GENESIS_ID",
     "Tangle",

@@ -1,0 +1,129 @@
+"""The per-tangle weight arena: contiguous row-per-transaction storage.
+
+Every transaction of a tangle carries a model with the same architecture
+(the genesis model's).  Storing each model as its own list of per-layer
+arrays scatters the hottest data in the system across thousands of small
+allocations and makes every boundary crossing — aggregation, walk
+evaluation, process-pool pickling, persistence — pay per-array overhead.
+
+The :class:`WeightArena` instead keeps all models in one 2-D slab, one
+row per transaction, in flat (:class:`~repro.nn.serialization.FlatSpec`)
+order.  Rows are immutable once written and exposed as read-only views,
+so transactions can hand out zero-copy per-layer views; stacked
+aggregation over arena-resident models is a row-slice away; and pickling
+a tangle ships one contiguous buffer instead of re-pickling every model.
+
+``dtype`` defaults to ``float64`` (bit-identical to the historical
+list-of-arrays path).  ``float32`` halves memory and IPC volume at the
+cost of rounding every stored model to single precision — evaluation
+accuracy is unaffected in practice, but results are no longer
+bit-comparable with float64 runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.serialization import FlatSpec
+
+__all__ = ["WeightArena"]
+
+
+class WeightArena:
+    """Append-only 2-D slab of flat model-weight rows."""
+
+    def __init__(
+        self,
+        spec: FlatSpec,
+        *,
+        dtype: np.dtype | type = np.float64,
+        initial_capacity: int = 16,
+    ):
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"arena dtype must be float64 or float32, got {dtype}")
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
+        self.spec = spec
+        self.dtype = dtype
+        self._slab = np.empty((initial_capacity, spec.total), dtype=dtype)
+        self._rows = 0
+        # Bumped whenever the slab is reallocated (growth): holders of
+        # cached row views use it to notice their base buffer is a
+        # superseded generation and rebuild, so old slabs are not kept
+        # alive indefinitely through stale views.
+        self.generation = 0
+
+    # ------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return self._rows
+
+    @property
+    def capacity(self) -> int:
+        return self._slab.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of live (written) rows."""
+        return self._rows * self.spec.total * self.dtype.itemsize
+
+    def row(self, index: int) -> np.ndarray:
+        """Read-only 1-D view of one stored model."""
+        if not 0 <= index < self._rows:
+            raise IndexError(f"arena row {index} out of range (have {self._rows})")
+        view = self._slab[index]
+        view.flags.writeable = False
+        return view
+
+    def rows(self, indices) -> np.ndarray:
+        """Stacked ``(k, total)`` matrix of the given rows.
+
+        A contiguous ascending range comes back as a zero-copy slice of
+        the slab; arbitrary index lists pay one gather.
+        """
+        indices = list(indices)
+        for i in indices:
+            if not 0 <= i < self._rows:
+                raise IndexError(f"arena row {i} out of range (have {self._rows})")
+        if indices and indices == list(range(indices[0], indices[0] + len(indices))):
+            view = self._slab[indices[0] : indices[0] + len(indices)]
+            view.flags.writeable = False
+            return view
+        return self._slab[indices]
+
+    # ------------------------------------------------------------ mutation
+    def intern(self, flat: np.ndarray) -> int:
+        """Copy a flat vector into the slab; returns its row index."""
+        flat = np.asarray(flat)
+        if flat.shape != (self.spec.total,):
+            raise ValueError(
+                f"expected a ({self.spec.total},) vector, got shape {flat.shape}"
+            )
+        if self._rows == self._slab.shape[0]:
+            grown = np.empty(
+                (max(2 * self._slab.shape[0], 1), self.spec.total), dtype=self.dtype
+            )
+            grown[: self._rows] = self._slab[: self._rows]
+            self._slab = grown
+            self.generation += 1
+        self._slab[self._rows] = flat
+        self._rows += 1
+        return self._rows - 1
+
+    # ------------------------------------------------------------ pickling
+    def __getstate__(self) -> dict:
+        # Ship only the written rows, never the growth headroom: a pickled
+        # arena is exactly one contiguous buffer of live models.
+        return {
+            "spec_shapes": self.spec.shapes,
+            "dtype": self.dtype.str,
+            "slab": np.ascontiguousarray(self._slab[: self._rows]),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.spec = FlatSpec(state["spec_shapes"])
+        self.dtype = np.dtype(state["dtype"])
+        slab = state["slab"]
+        self._slab = np.array(slab, dtype=self.dtype, copy=True)
+        self._rows = slab.shape[0]
+        self.generation = 0

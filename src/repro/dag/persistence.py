@@ -1,15 +1,20 @@
 """Saving and loading tangles.
 
-A tangle is stored as one ``.npz`` holding every transaction's weight
-arrays (keyed ``<tx_id>/<index>``) plus a JSON sidecar-free ``meta``
-entry describing structure (parents, issuers, rounds, tags).  This makes
-long experiments resumable and lets analysis tooling load a DAG without
-re-running the simulation.
+A tangle is stored as one ``.npz`` holding every transaction's weights
+plus a JSON ``meta`` entry describing structure (parents, issuers,
+rounds, tags).  This makes long experiments resumable and lets analysis
+tooling load a DAG without re-running the simulation.
+
+Since the flat-weight plane, each model is stored as **one** flat array
+(keyed ``<tx_id>/flat``) with its per-layer shapes recorded in the
+metadata — one npz member per transaction instead of one per layer,
+which is both smaller and much faster to write and read.  Files written
+by the original per-layer format (``<tx_id>/<index>`` members and a
+``num_arrays`` meta field) still load.
 """
 
 from __future__ import annotations
 
-import io
 import json
 from pathlib import Path
 
@@ -17,6 +22,7 @@ import numpy as np
 
 from repro.dag.tangle import Tangle
 from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.nn.serialization import FlatSpec
 
 __all__ = ["save_tangle", "load_tangle"]
 
@@ -32,19 +38,25 @@ def save_tangle(tangle: Tangle, path: str | Path) -> Path:
 
     arrays: dict[str, np.ndarray] = {}
     meta: list[dict] = []
+    # The arena dtype is a property of the whole tangle; record it on the
+    # genesis entry so a resumed run keeps the operator's float32/float64
+    # storage choice.
+    store_dtype = tangle.arena.dtype.str
     for tx in tangle.transactions():
-        meta.append(
-            {
-                "tx_id": tx.tx_id,
-                "parents": list(tx.parents),
-                "issuer": tx.issuer,
-                "round_index": tx.round_index,
-                "tags": tx.tags,
-                "num_arrays": len(tx.model_weights),
-            }
-        )
-        for i, array in enumerate(tx.model_weights):
-            arrays[f"{tx.tx_id}/{i}"] = array
+        weights = tx.model_weights
+        spec = FlatSpec.from_weights(weights)
+        entry = {
+            "tx_id": tx.tx_id,
+            "parents": list(tx.parents),
+            "issuer": tx.issuer,
+            "round_index": tx.round_index,
+            "tags": tx.tags,
+            "shapes": [list(shape) for shape in spec.shapes],
+        }
+        if not meta:  # genesis carries the tangle-wide storage dtype
+            entry["store_dtype"] = store_dtype
+        meta.append(entry)
+        arrays[f"{tx.tx_id}/flat"] = tx.flat_vector(spec)
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
@@ -61,6 +73,12 @@ def load_tangle(path: str | Path) -> Tangle:
         meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
 
         def weights_of(entry: dict) -> list[np.ndarray]:
+            if "shapes" in entry:  # flat format: one member per transaction
+                spec = FlatSpec(tuple(tuple(s) for s in entry["shapes"]))
+                return [
+                    np.array(w) for w in spec.unflatten(data[f"{entry['tx_id']}/flat"])
+                ]
+            # legacy per-layer format
             return [
                 np.array(data[f"{entry['tx_id']}/{i}"])
                 for i in range(entry["num_arrays"])
@@ -68,7 +86,9 @@ def load_tangle(path: str | Path) -> Tangle:
 
         if not meta or meta[0]["tx_id"] != GENESIS_ID:
             raise ValueError("saved tangle does not start with genesis")
-        tangle = Tangle(weights_of(meta[0]))
+        # Legacy files carry no dtype marker; they were float64 tangles.
+        store_dtype = np.dtype(meta[0].get("store_dtype", "<f8"))
+        tangle = Tangle(weights_of(meta[0]), store_dtype=store_dtype)
         for entry in meta[1:]:
             tangle.add(
                 Transaction(

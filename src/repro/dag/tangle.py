@@ -6,7 +6,9 @@ from collections import deque
 
 import numpy as np
 
+from repro.dag.arena import WeightArena
 from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.nn.serialization import FlatSpec
 
 __all__ = ["Tangle"]
 
@@ -28,9 +30,27 @@ class Tangle:
     weighted walks quadratic in tangle size, and runs that never query
     weights pay nothing.  :meth:`invalidate_weight_index` returns to the
     lazy state for bulk mutation paths.
+
+    **Model storage** lives in a per-tangle :class:`WeightArena`: the
+    genesis weights fix the :class:`FlatSpec` (shapes/offsets of the
+    architecture), and :meth:`add` interns each transaction's model as
+    one contiguous flat row, after which the transaction serves
+    ``model_weights`` as zero-copy views into its row.  Models whose
+    shapes differ from the genesis architecture (foreign tangles glued
+    together in tests or tooling) simply stay in per-transaction
+    storage — interning is opportunistic, never a protocol requirement.
+    ``store_dtype=np.float32`` halves arena memory and IPC volume at the
+    cost of float64 bit-compatibility.
     """
 
-    def __init__(self, genesis_weights: list[np.ndarray]):
+    def __init__(
+        self,
+        genesis_weights: list[np.ndarray],
+        *,
+        store_dtype: np.dtype | type = np.float64,
+    ):
+        self._spec = FlatSpec.from_weights(genesis_weights)
+        self._arena = WeightArena(self._spec, dtype=store_dtype)
         genesis = Transaction(
             tx_id=GENESIS_ID,
             parents=(),
@@ -38,6 +58,7 @@ class Tangle:
             issuer=-1,
             round_index=-1,
         )
+        self._intern(genesis)
         self._transactions: dict[str, Transaction] = {GENESIS_ID: genesis}
         self._approvers: dict[str, list[str]] = {GENESIS_ID: []}
         self._tips: set[str] = {GENESIS_ID}
@@ -61,6 +82,21 @@ class Tangle:
     @property
     def genesis(self) -> Transaction:
         return self._transactions[GENESIS_ID]
+
+    @property
+    def spec(self) -> FlatSpec:
+        """Flat layout of the tangle's model architecture."""
+        return self._spec
+
+    @property
+    def arena(self) -> WeightArena:
+        """The contiguous model-weight store."""
+        return self._arena
+
+    def flat_weights(self, tx_id: str) -> np.ndarray:
+        """A transaction's model as one flat vector (zero-copy when
+        arena-resident)."""
+        return self.get(tx_id).flat_vector(self._spec)
 
     def get(self, tx_id: str) -> Transaction:
         try:
@@ -113,6 +149,7 @@ class Tangle:
                 raise ValueError(
                     f"{transaction.tx_id!r} approves unknown parent {parent!r}"
                 )
+        self._intern(transaction)
         self._transactions[transaction.tx_id] = transaction
         self._approvers[transaction.tx_id] = []
         self._order.append(transaction.tx_id)
@@ -125,6 +162,16 @@ class Tangle:
         if not self._weights_dirty:
             self._weights[transaction.tx_id] = 1
             self._bump_past_cone(transaction.tx_id)
+
+    def _intern(self, transaction: Transaction) -> None:
+        """Move a transaction's model into the arena (opportunistic)."""
+        if transaction.arena_bound:
+            return
+        try:
+            flat = transaction.flat_vector(self._spec)
+        except ValueError:
+            return  # foreign architecture: keep per-transaction storage
+        transaction.bind_arena(self._arena, self._arena.intern(flat))
 
     # ----------------------------------------------------------- analysis
     def future_cone(self, tx_id: str) -> set[str]:

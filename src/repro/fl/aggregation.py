@@ -6,6 +6,23 @@ robust aggregators common in the poisoning literature (coordinate-wise
 median and trimmed mean), which make interesting counterpoints to the
 DAG's walk-level robustness: the walk filters *whole models* by accuracy,
 robust aggregation filters *coordinates* by outlier position.
+
+All strategies are implemented as **single stacked-matrix reductions**
+over the flat weight representation: the ``k`` input models become one
+``(k, P)`` matrix (a zero-copy arena slice when they already live in a
+tangle's weight arena) and the aggregate is one numpy op over axis 0.
+The ``*_flat`` functions are the primitives; the list-of-arrays wrappers
+keep the historical call signature.  The per-layer reference
+implementations the vectorized versions replaced are preserved in
+``REFERENCE_AGGREGATORS`` — they remain the equivalence oracle for tests
+and the baseline for the weight-plane benchmark.  In float64 the two
+paths are bit-identical wherever they reduce the same values in the
+same order — which covers the protocol's two-parent merge and every
+median/trimmed case with a non-zero trim; the two carve-outs, bounded
+at one-ulp tolerance by the equivalence tests, are the legacy mean's
+sequential Python ``sum`` for ``k > 2`` and the legacy trimmed mean's
+pointless pre-sort when the trim count rounds to zero (``k`` of 3 or 4
+at the default fraction).
 """
 
 from __future__ import annotations
@@ -14,22 +31,68 @@ from typing import Callable
 
 import numpy as np
 
-from repro.nn.serialization import Weights, average_weights, weighted_average_weights
+from repro.nn.serialization import FlatSpec, Weights
 
 __all__ = [
     "mean_aggregate",
     "median_aggregate",
     "trimmed_mean_aggregate",
+    "mean_flat",
+    "median_flat",
+    "trimmed_mean_flat",
     "get_aggregator",
     "AGGREGATORS",
+    "FLAT_AGGREGATORS",
+    "REFERENCE_AGGREGATORS",
 ]
 
 Aggregator = Callable[[list[Weights]], Weights]
 
 
+# ------------------------------------------------------- flat primitives
+def mean_flat(stacked: np.ndarray) -> np.ndarray:
+    """Coordinate-wise mean of a ``(k, P)`` stack of flat models."""
+    return stacked.mean(axis=0)
+
+
+def median_flat(stacked: np.ndarray) -> np.ndarray:
+    """Coordinate-wise median of a ``(k, P)`` stack of flat models."""
+    return np.median(stacked, axis=0)
+
+
+def _trim_count(k: int, trim_fraction: float) -> int:
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
+    trim = int(np.floor(k * trim_fraction))
+    if 2 * trim >= k:
+        trim = (k - 1) // 2
+    return trim
+
+
+def trimmed_mean_flat(stacked: np.ndarray, *, trim_fraction: float = 0.2) -> np.ndarray:
+    """Coordinate-wise trimmed mean of a ``(k, P)`` stack of flat models."""
+    k = stacked.shape[0]
+    trim = _trim_count(k, trim_fraction)
+    if trim == 0:
+        return stacked.mean(axis=0)
+    ordered = np.sort(stacked, axis=0)
+    return ordered[trim : k - trim].mean(axis=0)
+
+
+# ------------------------------------------------- list-of-arrays facade
+def _stack(weight_sets: list[Weights]) -> tuple[np.ndarray, FlatSpec]:
+    if not weight_sets:
+        raise ValueError("need at least one weight set")
+    # spec.stack validates every set's length and shapes against the
+    # first set's spec while flattening — no separate validation pass.
+    spec = FlatSpec.from_weights(weight_sets[0])
+    return spec.stack(weight_sets), spec
+
+
 def mean_aggregate(weight_sets: list[Weights]) -> Weights:
     """Parameter-wise arithmetic mean (the paper's merge)."""
-    return average_weights(weight_sets)
+    stacked, spec = _stack(weight_sets)
+    return spec.unflatten(mean_flat(stacked))
 
 
 def median_aggregate(weight_sets: list[Weights]) -> Weights:
@@ -38,13 +101,8 @@ def median_aggregate(weight_sets: list[Weights]) -> Weights:
     Robust to a minority of arbitrarily corrupted inputs; for two inputs
     it degenerates to the mean.
     """
-    if not weight_sets:
-        raise ValueError("need at least one weight set")
-    _check_same_shapes(weight_sets)
-    return [
-        np.median(np.stack([ws[i] for ws in weight_sets]), axis=0)
-        for i in range(len(weight_sets[0]))
-    ]
+    stacked, spec = _stack(weight_sets)
+    return spec.unflatten(median_flat(stacked))
 
 
 def trimmed_mean_aggregate(
@@ -56,21 +114,9 @@ def trimmed_mean_aggregate(
     coordinate before averaging.  With fewer than three inputs nothing
     can be trimmed and the result equals the mean.
     """
-    if not 0.0 <= trim_fraction < 0.5:
-        raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
-    if not weight_sets:
-        raise ValueError("need at least one weight set")
-    _check_same_shapes(weight_sets)
-    k = len(weight_sets)
-    trim = int(np.floor(k * trim_fraction))
-    if 2 * trim >= k:
-        trim = (k - 1) // 2
-    result: Weights = []
-    for i in range(len(weight_sets[0])):
-        stacked = np.sort(np.stack([ws[i] for ws in weight_sets]), axis=0)
-        kept = stacked[trim : k - trim] if trim else stacked
-        result.append(kept.mean(axis=0))
-    return result
+    _trim_count(1, trim_fraction)  # validate the fraction before stacking
+    stacked, spec = _stack(weight_sets)
+    return spec.unflatten(trimmed_mean_flat(stacked, trim_fraction=trim_fraction))
 
 
 def _check_same_shapes(weight_sets: list[Weights]) -> None:
@@ -83,10 +129,72 @@ def _check_same_shapes(weight_sets: list[Weights]) -> None:
                 raise ValueError(f"weight shapes differ: {a.shape} vs {b.shape}")
 
 
+# --------------------------------------------- per-layer reference path
+def _mean_reference(weight_sets: list[Weights]) -> Weights:
+    """The pre-flat-plane per-layer loop (kept as equivalence oracle).
+
+    Note the sequential Python ``sum``: for the DAG's two-parent merge it
+    is bit-identical to the vectorized mean (``0 + a + b`` is exact); for
+    larger ``k`` numpy's pairwise reduction may differ in the final ulp,
+    which the equivalence tests bound explicitly.
+    """
+    if not weight_sets:
+        raise ValueError("need at least one weight set")
+    _check_same_shapes(weight_sets)
+    count = len(weight_sets)
+    return [
+        sum(ws[i] for ws in weight_sets) / count for i in range(len(weight_sets[0]))
+    ]
+
+
+def _median_reference(weight_sets: list[Weights]) -> Weights:
+    if not weight_sets:
+        raise ValueError("need at least one weight set")
+    _check_same_shapes(weight_sets)
+    return [
+        np.median(np.stack([ws[i] for ws in weight_sets]), axis=0)
+        for i in range(len(weight_sets[0]))
+    ]
+
+
+def _trimmed_mean_reference(
+    weight_sets: list[Weights], *, trim_fraction: float = 0.2
+) -> Weights:
+    if not weight_sets:
+        raise ValueError("need at least one weight set")
+    _trim_count(1, trim_fraction)
+    _check_same_shapes(weight_sets)
+    k = len(weight_sets)
+    trim = _trim_count(k, trim_fraction)
+    result: Weights = []
+    for i in range(len(weight_sets[0])):
+        stacked = np.sort(np.stack([ws[i] for ws in weight_sets]), axis=0)
+        kept = stacked[trim : k - trim] if trim else stacked
+        result.append(kept.mean(axis=0))
+    return result
+
+
 AGGREGATORS: dict[str, Aggregator] = {
     "mean": mean_aggregate,
     "median": median_aggregate,
     "trimmed_mean": trimmed_mean_aggregate,
+}
+
+#: Flat primitives by the same names, for callers that already hold a
+#: ``(k, P)`` stack (e.g. arena rows) and want to skip the list facade.
+FLAT_AGGREGATORS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "mean": mean_flat,
+    "median": median_flat,
+    "trimmed_mean": trimmed_mean_flat,
+}
+
+#: Per-layer loop implementations, the pre-vectorization code path.  Not
+#: part of the protocol surface — tests assert vectorized == reference
+#: and the weight-plane benchmark measures the speedup against them.
+REFERENCE_AGGREGATORS: dict[str, Aggregator] = {
+    "mean": _mean_reference,
+    "median": _median_reference,
+    "trimmed_mean": _trimmed_mean_reference,
 }
 
 

@@ -211,10 +211,11 @@ class AsyncTangleLearning:
 
         parent_models = [self.tangle.get(t).model_weights for t in tips]
         reference = client.apply_personalization(self._aggregate(parent_models))
-        _, reference_accuracy = client.evaluate_weights(reference)
+        # The publish gate needs accuracies only — take the loss-free path.
+        reference_accuracy = client.accuracy_of_weights(reference)
         trained, _loss = client.train(reference)
         client.update_personal_tail(trained)
-        _, accuracy = client.evaluate_weights(trained)
+        accuracy = client.accuracy_of_weights(trained)
 
         tx_id = None
         published = (not cfg.publish_gate) or accuracy >= reference_accuracy

@@ -8,7 +8,7 @@ from repro.data.base import ClientData
 from repro.dag.tangle import Tangle
 from repro.nn.model import Classifier
 from repro.nn.optimizers import SGD, ProximalSGD
-from repro.nn.serialization import Weights, clone_weights
+from repro.nn.serialization import Weights
 from repro.fl.config import TrainingConfig
 from repro.utils.rng import ensure_rng
 
@@ -92,7 +92,15 @@ class Client:
         return self.model.evaluate(self.data.x_test, self.data.y_test)
 
     def accuracy_of_weights(self, weights: Weights) -> float:
-        return self.evaluate_weights(weights)[1]
+        """Accuracy of ``weights`` on local test data (loss-free path).
+
+        Routed through :meth:`Classifier.accuracy`, which skips the
+        cross-entropy computation entirely — the value is identical to
+        ``evaluate_weights(weights)[1]`` (same forward pass, same argmax).
+        """
+        self.model.set_weights(weights)
+        self.evaluations += 1
+        return self.model.accuracy(self.data.x_test, self.data.y_test)
 
     def tx_accuracy(self, tangle: Tangle, tx_id: str) -> float:
         """Cached accuracy of a transaction's model on local test data.
@@ -105,11 +113,28 @@ class Client:
         :class:`~repro.dag.tangle.Tangle` or one of its views); the cache
         is keyed by transaction id alone, which is sound because a
         transaction's model never changes.
+
+        The walk's inner loop: without personalization, an arena-resident
+        model is loaded straight from its flat row
+        (:meth:`Classifier.load_flat`) — no per-layer list, no gradient
+        reallocation, no loss computation.
         """
         cached = self._tx_accuracy_cache.get(tx_id)
         if cached is not None:
             return cached
-        weights = self.apply_personalization(tangle.get(tx_id).model_weights)
+        tx = tangle.get(tx_id)
+        if not self.personal_params and tx.arena_bound:
+            try:
+                flat = tx.flat_vector(self.model.flat_spec)
+            except ValueError:  # tangle architecture differs from the model
+                flat = None
+            if flat is not None:
+                self.model.load_flat(flat)
+                self.evaluations += 1
+                accuracy = self.model.accuracy(self.data.x_test, self.data.y_test)
+                self._tx_accuracy_cache[tx_id] = accuracy
+                return accuracy
+        weights = self.apply_personalization(tx.model_weights)
         accuracy = self.accuracy_of_weights(weights)
         self._tx_accuracy_cache[tx_id] = accuracy
         return accuracy
@@ -179,4 +204,5 @@ class Client:
             batch_size=config.batch_size,
             max_batches=config.local_batches,
         )
-        return clone_weights(self.model.get_weights()), loss
+        # get_weights() already returns fresh copies — no defensive clone.
+        return self.model.get_weights(), loss

@@ -197,10 +197,13 @@ class TangleLearning:
                 record.client_accuracy[client_id] = result.test_accuracy
                 record.client_loss[client_id] = result.test_loss
             if result.publish:
-                tx = Transaction(
+                # Results carry one flat vector per model; the tangle
+                # interns it as an arena row on add.
+                tx = Transaction.from_flat(
                     tx_id=self.tangle.next_tx_id(client_id),
                     parents=result.parents,
-                    model_weights=result.model_weights,
+                    flat=result.flat_weights,
+                    spec=self.tangle.spec,
                     issuer=client_id,
                     round_index=self.round_index,
                     tags=result.tags,

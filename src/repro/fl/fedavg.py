@@ -11,7 +11,7 @@ from repro.fl.client import Client
 from repro.fl.config import TrainingConfig
 from repro.fl.records import RoundRecord
 from repro.nn.model import Classifier
-from repro.nn.serialization import Weights, clone_weights, weighted_average_weights
+from repro.nn.serialization import Weights, weighted_average_weights
 from repro.utils.rng import RngFactory
 
 __all__ = ["FedAvgServer"]
@@ -52,8 +52,14 @@ class FedAvgServer:
         self.history: list[RoundRecord] = []
 
     def _train_one(self, client: Client) -> tuple[Weights, float]:
-        """Hook for subclasses (FedProx overrides with the proximal term)."""
-        return client.train(clone_weights(self.global_weights))
+        """Hook for subclasses (FedProx overrides with the proximal term).
+
+        The global weights are passed by reference: ``Client.train``
+        copies them into the model in place and never mutates its input,
+        so the historical defensive clone was a full model copy per
+        client per round for nothing.
+        """
+        return client.train(self.global_weights)
 
     def run_round(self) -> RoundRecord:
         active_ids = sorted(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.fl.client import Client
 from repro.fl.fedavg import FedAvgServer
-from repro.nn.serialization import Weights, clone_weights
+from repro.nn.serialization import Weights
 from repro.utils.validation import check_probability
 
 __all__ = ["FedProxServer"]
@@ -45,8 +45,10 @@ class FedProxServer(FedAvgServer):
             and self._straggler_rng.random() < self.straggler_fraction
         ):
             epochs_override = self.straggler_epochs
+        # As in FedAvg: train() copies, so no defensive clone is needed
+        # (ProximalSGD.set_reference also copies its anchor).
         return client.train(
-            clone_weights(self.global_weights),
+            self.global_weights,
             proximal_mu=self.mu,
             epochs_override=epochs_override,
         )

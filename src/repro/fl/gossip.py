@@ -17,7 +17,7 @@ from repro.fl.client import Client
 from repro.fl.config import TrainingConfig
 from repro.fl.records import RoundRecord
 from repro.nn.model import Classifier
-from repro.nn.serialization import Weights, average_weights, clone_weights
+from repro.nn.serialization import Weights, average_weights
 from repro.utils.rng import RngFactory
 
 __all__ = ["GossipLearning"]
@@ -48,7 +48,10 @@ class GossipLearning:
             self.clients[cd.client_id] = Client(
                 cd, self.model, train_config, self._rngs.get("client", cd.client_id)
             )
-            self.local_weights[cd.client_id] = clone_weights(initial)
+            # All clients may share the initial list: weight lists are
+            # never mutated in place (training replaces them wholesale),
+            # so N copies of the genesis model bought nothing.
+            self.local_weights[cd.client_id] = initial
         self._sampler = self._rngs.get("round-sampler")
         self.round_index = 0
         self.history: list[RoundRecord] = []

@@ -26,8 +26,10 @@ from repro.nn.losses import softmax_cross_entropy, softmax_probabilities
 from repro.nn.optimizers import SGD, ProximalSGD, Adam, clip_gradients
 from repro.nn.model import Classifier
 from repro.nn.serialization import (
+    FlatSpec,
     average_weights,
     clone_weights,
+    flatten_weights,
     weights_allclose,
     weights_l2_distance,
     weighted_average_weights,
@@ -56,8 +58,10 @@ __all__ = [
     "Adam",
     "clip_gradients",
     "Classifier",
+    "FlatSpec",
     "average_weights",
     "clone_weights",
+    "flatten_weights",
     "weights_allclose",
     "weights_l2_distance",
     "weighted_average_weights",

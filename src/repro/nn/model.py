@@ -7,7 +7,7 @@ import numpy as np
 from repro.nn.losses import softmax_cross_entropy, softmax_probabilities
 from repro.nn.module import Sequential
 from repro.nn.optimizers import SGD
-from repro.nn.serialization import Weights, clone_weights
+from repro.nn.serialization import FlatSpec, Weights, clone_weights
 
 __all__ = ["Classifier"]
 
@@ -19,31 +19,67 @@ class Classifier:
     training with a fixed batch budget, evaluation (loss + accuracy), and
     weight get/set so the same instance can be re-pointed at arbitrary
     weights (crucial for cheap model evaluation during the random walk).
+    Weight loading is strictly in-place — parameter value and gradient
+    buffers are allocated once at construction and reused for every load
+    (the walk loads weights thousands of times without ever training).
+    :meth:`load_flat` is the flat-plane fast path: point the model at an
+    arena row or any contiguous vector without touching per-layer lists.
     """
 
     def __init__(self, net: Sequential):
         self.net = net
         self._params = net.parameters()
+        self._spec = FlatSpec.from_parameters(self._params)
 
     # ----------------------------------------------------------- weights
+    @property
+    def flat_spec(self) -> FlatSpec:
+        """Flat layout (shapes/offsets) of this model's parameters."""
+        return self._spec
+
     def get_weights(self) -> Weights:
         """Copy of the current weights, in parameter order."""
         return [p.value.copy() for p in self._params]
 
+    def get_flat(self) -> np.ndarray:
+        """Copy of the current weights as one flat vector."""
+        out = np.empty(self._spec.total, dtype=np.float64)
+        for param, offset, size in zip(
+            self._params, self._spec.offsets, self._spec.sizes
+        ):
+            out[offset : offset + size] = param.value.reshape(-1)
+        return out
+
     def set_weights(self, weights: Weights) -> None:
-        """Load weights (copied) into the model."""
+        """Load weights (copied, in place) into the model."""
         if len(weights) != len(self._params):
             raise ValueError(
                 f"expected {len(self._params)} arrays, got {len(weights)}"
             )
         for param, value in zip(self._params, weights):
+            value = np.asarray(value)
             if param.value.shape != value.shape:
                 raise ValueError(
                     f"shape mismatch for {param.name}: "
                     f"{param.value.shape} vs {value.shape}"
                 )
-            param.value = np.array(value, dtype=np.float64, copy=True)
-            param.grad = np.zeros_like(param.value)
+            param.assign(value)
+
+    def load_flat(self, flat: np.ndarray) -> None:
+        """Load weights from one flat vector, copying in place.
+
+        The fast path for walk evaluation over arena-resident models: no
+        per-layer list is materialized and no buffer is allocated.
+        """
+        flat = np.asarray(flat)
+        if flat.shape != (self._spec.total,):
+            raise ValueError(
+                f"expected a ({self._spec.total},) flat vector, got {flat.shape}"
+            )
+        for param, offset, size in zip(
+            self._params, self._spec.offsets, self._spec.sizes
+        ):
+            param.assign(flat[offset : offset + size].reshape(param.value.shape))
 
     @property
     def parameter_count(self) -> int:
@@ -79,13 +115,36 @@ class Classifier:
             correct += int((logits.argmax(axis=1) == yb).sum())
         return total_loss / n, correct / n
 
-    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
-        """Accuracy only (convenience for the random walk)."""
-        return self.evaluate(x, y)[1]
+    def accuracy(
+        self, x: np.ndarray, y: np.ndarray, *, batch_size: int = 256
+    ) -> float:
+        """Accuracy only — skips the cross-entropy computation.
+
+        The random walk evaluates candidate models by accuracy alone, so
+        this path never builds softmax probabilities or the loss; it is
+        exactly :meth:`evaluate`'s accuracy for the same inputs (same
+        forward pass, same argmax).
+        """
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot evaluate on an empty dataset")
+        correct = 0
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = self.net.forward(xb, train=False)
+            correct += int((logits.argmax(axis=1) == yb).sum())
+        return correct / n
 
     # ----------------------------------------------------------- training
     def train_batch(self, x: np.ndarray, y: np.ndarray, optimizer: SGD) -> float:
         """One optimizer step on a single batch; returns the batch loss."""
+        # Backward passes accumulate into the grad buffers; sanitize them
+        # here, the one place they are consumed.  (Optimizers also zero
+        # after each step, so this is a no-op between consecutive batches
+        # — it exists so interleaved weight loads never have to.)
+        for param in self._params:
+            param.grad.fill(0.0)
         logits = self.net.forward(x, train=True)
         loss, grad = softmax_cross_entropy(logits, y)
         self.net.backward(grad)

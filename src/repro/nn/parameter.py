@@ -36,5 +36,19 @@ class Parameter:
         """Reset the accumulated gradient to zero."""
         self.grad.fill(0.0)
 
+    def assign(self, value: np.ndarray) -> None:
+        """Copy ``value`` into the existing value buffer, in place.
+
+        Keeps the ``value`` array identity stable (optimizer
+        velocity/moment slots are keyed by parameter identity), so hot
+        weight-loading paths never reallocate.  Casts as needed, e.g.
+        when loading a float32 arena row into float64 parameters.  The
+        gradient is left untouched: it is zeroed where it is consumed
+        (before a backward pass accumulates into it), not on every load —
+        walk evaluation loads weights thousands of times without ever
+        training.
+        """
+        np.copyto(self.value, value, casting="same_kind")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Parameter({self.name}, shape={self.value.shape})"

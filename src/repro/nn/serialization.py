@@ -1,9 +1,21 @@
-"""Model-weight utilities: copy, compare, and average.
+"""Model-weight utilities: flat views, copy, compare, and average.
 
-Model weights travel through the DAG as plain lists of numpy arrays (one
-per :class:`~repro.nn.parameter.Parameter`, in layer order).  Averaging two
-parents' weights is the core "merge" operation of the specializing DAG, and
-weighted averaging is what the FedAvg/FedProx servers do.
+Model weights have two interchangeable representations:
+
+- the **list-of-arrays** form (one array per
+  :class:`~repro.nn.parameter.Parameter`, in layer order) that layers and
+  optimizers work with, and
+- the **flat** form — a single contiguous 1-D vector holding every scalar
+  back to back — that the hot paths prefer: averaging, distance, storage
+  in the per-tangle weight arena, and cross-process shipping all become
+  single numpy operations on one buffer.
+
+:class:`FlatSpec` is the bridge: derived once from a model's shapes, it
+flattens a weight list into a vector and reconstitutes a vector into a
+list of *views* (zero-copy) with the original shapes.  Averaging two
+parents' weights is the core "merge" operation of the specializing DAG,
+and weighted averaging is what the FedAvg/FedProx servers do; both are
+implemented as one stacked-matrix reduction over flat vectors.
 """
 
 from __future__ import annotations
@@ -11,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "FlatSpec",
     "clone_weights",
     "average_weights",
     "weighted_average_weights",
@@ -23,12 +36,108 @@ __all__ = [
 Weights = list[np.ndarray]
 
 
+class FlatSpec:
+    """Shapes and offsets of a weight list, derived once.
+
+    Maps between the list-of-arrays form and the flat 1-D form.  The spec
+    is immutable and hashable on its shapes, so models, arenas, and
+    transactions can cheaply check they speak about the same architecture.
+    """
+
+    __slots__ = ("shapes", "sizes", "offsets", "total")
+
+    def __init__(self, shapes: tuple[tuple[int, ...], ...]):
+        self.shapes = tuple(tuple(int(d) for d in shape) for shape in shapes)
+        self.sizes = tuple(int(np.prod(shape, dtype=np.int64)) for shape in self.shapes)
+        offsets = np.concatenate([[0], np.cumsum(self.sizes)])
+        self.offsets = tuple(int(o) for o in offsets[:-1])
+        self.total = int(offsets[-1])
+
+    # ------------------------------------------------------- constructors
+    @classmethod
+    def from_weights(cls, weights: Weights) -> "FlatSpec":
+        """Spec of an existing weight list."""
+        if not weights:
+            raise ValueError("cannot derive a FlatSpec from an empty weight list")
+        return cls(tuple(np.asarray(w).shape for w in weights))
+
+    @classmethod
+    def from_parameters(cls, params) -> "FlatSpec":
+        """Spec of a model's parameter list (:class:`Parameter` objects)."""
+        return cls(tuple(p.value.shape for p in params))
+
+    # -------------------------------------------------------- conversions
+    def flatten(self, weights: Weights, *, out: np.ndarray | None = None) -> np.ndarray:
+        """Copy ``weights`` into one contiguous 1-D vector.
+
+        ``out`` lets callers fill a pre-allocated row (e.g. of a stacked
+        aggregation matrix or an arena slab) without an intermediate
+        allocation.
+        """
+        if len(weights) != len(self.shapes):
+            raise ValueError(
+                f"weight sets have different lengths: "
+                f"{len(self.shapes)} vs {len(weights)}"
+            )
+        if out is None:
+            out = np.empty(self.total, dtype=np.float64)
+        elif out.shape != (self.total,):
+            raise ValueError(f"out must have shape ({self.total},), got {out.shape}")
+        for offset, size, shape, w in zip(self.offsets, self.sizes, self.shapes, weights):
+            w = np.asarray(w)
+            if w.shape != shape:
+                raise ValueError(f"weight shapes differ: {shape} vs {w.shape}")
+            out[offset : offset + size] = w.reshape(-1)
+        return out
+
+    def unflatten(self, vector: np.ndarray) -> Weights:
+        """Reshape a flat vector back into the per-layer list.
+
+        The returned arrays are **views** into ``vector`` whenever it is
+        contiguous — no data is copied.  Callers that need ownership copy
+        explicitly (:func:`clone_weights`).
+        """
+        vector = np.ascontiguousarray(vector)
+        if vector.shape != (self.total,):
+            raise ValueError(
+                f"expected a ({self.total},) vector, got shape {vector.shape}"
+            )
+        return [
+            vector[offset : offset + size].reshape(shape)
+            for offset, size, shape in zip(self.offsets, self.sizes, self.shapes)
+        ]
+
+    def stack(self, weight_sets: list[Weights]) -> np.ndarray:
+        """Flatten several weight sets into one ``(k, total)`` matrix."""
+        if not weight_sets:
+            raise ValueError("need at least one weight set")
+        matrix = np.empty((len(weight_sets), self.total), dtype=np.float64)
+        for row, ws in zip(matrix, weight_sets):
+            self.flatten(ws, out=row)
+        return matrix
+
+    # ------------------------------------------------------------- dunder
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FlatSpec) and self.shapes == other.shapes
+
+    def __hash__(self) -> int:
+        return hash(self.shapes)
+
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlatSpec({len(self.shapes)} arrays, {self.total} scalars)"
+
+
 def clone_weights(weights: Weights) -> Weights:
     """Deep-copy a weight list."""
     return [np.array(w, dtype=np.float64, copy=True) for w in weights]
 
 
 def _check_compatible(weight_sets: list[Weights]) -> None:
+    """Validate matching lengths and shapes (for non-flattening callers;
+    the averaging paths get the same validation from ``FlatSpec.stack``)."""
     if not weight_sets:
         raise ValueError("need at least one weight set")
     first = weight_sets[0]
@@ -38,26 +147,35 @@ def _check_compatible(weight_sets: list[Weights]) -> None:
                 f"weight sets have different lengths: {len(first)} vs {len(other)}"
             )
         for a, b in zip(first, other):
-            if a.shape != b.shape:
-                raise ValueError(f"weight shapes differ: {a.shape} vs {b.shape}")
+            if np.asarray(a).shape != np.asarray(b).shape:
+                raise ValueError(
+                    f"weight shapes differ: {np.asarray(a).shape} vs {np.asarray(b).shape}"
+                )
 
 
 def average_weights(weight_sets: list[Weights]) -> Weights:
-    """Parameter-wise arithmetic mean of several weight sets."""
-    _check_compatible(weight_sets)
-    count = len(weight_sets)
-    return [
-        sum(ws[i] for ws in weight_sets) / count for i in range(len(weight_sets[0]))
-    ]
+    """Parameter-wise arithmetic mean of several weight sets.
+
+    One stacked-matrix reduction over the flat representation; for two
+    inputs (the DAG's parent merge) the result is bit-identical to the
+    historical per-layer ``(a + b) / 2``.
+    """
+    if not weight_sets:
+        raise ValueError("need at least one weight set")
+    spec = FlatSpec.from_weights(weight_sets[0])
+    return spec.unflatten(spec.stack(weight_sets).mean(axis=0))
 
 
 def weighted_average_weights(weight_sets: list[Weights], coefficients: list[float]) -> Weights:
     """Convex combination of weight sets (FedAvg aggregation).
 
     ``coefficients`` are normalized to sum to one, so callers may pass raw
-    sample counts.
+    sample counts.  Computed as a single matrix-vector product over the
+    stacked flat vectors.
     """
-    _check_compatible(weight_sets)
+    if not weight_sets:
+        raise ValueError("need at least one weight set")
+    spec = FlatSpec.from_weights(weight_sets[0])
     if len(coefficients) != len(weight_sets):
         raise ValueError("one coefficient per weight set required")
     coeffs = np.asarray(coefficients, dtype=np.float64)
@@ -67,10 +185,7 @@ def weighted_average_weights(weight_sets: list[Weights], coefficients: list[floa
     if total <= 0:
         raise ValueError("coefficients must not all be zero")
     coeffs = coeffs / total
-    return [
-        sum(c * ws[i] for c, ws in zip(coeffs, weight_sets))
-        for i in range(len(weight_sets[0]))
-    ]
+    return spec.unflatten(coeffs @ spec.stack(weight_sets))
 
 
 def weights_allclose(a: Weights, b: Weights, *, atol: float = 1e-10) -> bool:
@@ -91,10 +206,10 @@ def weights_l2_distance(a: Weights, b: Weights) -> float:
 
 
 def flatten_weights(weights: Weights) -> np.ndarray:
-    """Concatenate all arrays into a single 1-D vector."""
-    return np.concatenate([w.reshape(-1) for w in weights])
+    """Concatenate all arrays into a single 1-D float64 vector."""
+    return FlatSpec.from_weights(weights).flatten(weights)
 
 
 def total_parameter_count(weights: Weights) -> int:
     """Number of scalars in a weight list."""
-    return int(sum(w.size for w in weights))
+    return int(sum(np.asarray(w).size for w in weights))

@@ -83,15 +83,24 @@ class ParallelExecutor:
 
     ``fn`` and the items must be picklable; items are distributed in
     contiguous chunks so per-round payload shared between units is
-    serialized once per chunk rather than once per unit.
+    serialized once per chunk rather than once per unit — with the
+    flat-weight plane, the shared :class:`RoundContext`'s tangle pickles
+    its whole model store as **one contiguous arena slab** per chunk
+    instead of one small array per layer per transaction, and each
+    result returns at most one model vector.  ``chunksize`` overrides
+    the default one-chunk-per-worker split (useful when unit runtimes
+    are very uneven).
     """
 
     shares_memory = False
 
-    def __init__(self, workers: int | None = None):
+    def __init__(self, workers: int | None = None, *, chunksize: int | None = None):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.parallelism = workers or (os.cpu_count() or 2)
+        self.chunksize = chunksize
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -111,7 +120,7 @@ class ParallelExecutor:
             return []
         if len(items) == 1:  # pool overhead buys nothing
             return [fn(items[0])]
-        chunksize = max(1, math.ceil(len(items) / self.parallelism))
+        chunksize = self.chunksize or max(1, math.ceil(len(items) / self.parallelism))
         return list(self._ensure_pool().map(fn, items, chunksize=chunksize))
 
     def close(self) -> None:

@@ -44,8 +44,9 @@ from repro.dag.tip_selection import (
     TipSelector,
     WeightedTipSelector,
 )
-from repro.fl.aggregation import get_aggregator
+from repro.fl.aggregation import FLAT_AGGREGATORS, get_aggregator
 from repro.fl.config import DagConfig
+from repro.nn.serialization import flatten_weights
 from repro.utils.rng import RngFactory
 from repro.utils.timing import Stopwatch
 
@@ -120,12 +121,18 @@ class ClientStateDelta:
 
 @dataclass
 class ClientRoundResult:
-    """Everything a work unit produced, before tangle mutation."""
+    """Everything a work unit produced, before tangle mutation.
+
+    ``flat_weights`` is the published model as **one contiguous 1-D
+    vector** — the only form a model crosses the process boundary in.
+    The coordinator turns it into an arena row on commit
+    (:meth:`Transaction.from_flat`); no per-layer list is ever pickled.
+    """
 
     client_id: int
     publish: bool
     parents: tuple[str, ...] = ()
-    model_weights: list[np.ndarray] | None = None
+    flat_weights: np.ndarray | None = None
     tags: dict = field(default_factory=dict)
     reference_accuracy: float | None = None
     test_accuracy: float | None = None
@@ -155,6 +162,31 @@ class RoundContext:
     capture_state: bool = True
 
 
+def _aggregate_parents(
+    context: RoundContext, tips: list[str], config: DagConfig, client: "Client"
+) -> list[np.ndarray]:
+    """Merge the selected tip models per the protocol's aggregator.
+
+    Fast path: when every parent lives in the same weight arena with the
+    model's architecture, the ``(k, P)`` stack comes straight off the
+    slab (``WeightArena.rows`` — a zero-copy slice for contiguous rows,
+    one gather otherwise) and the merge is one stacked reduction — no
+    per-layer lists are built for the inputs.  The result values are
+    identical to the list-of-arrays facade (same matrix, same numpy
+    reduction); the facade remains the fallback for foreign-shaped
+    models.
+    """
+    parents = [context.view.get(t) for t in tips]
+    spec = client.model.flat_spec
+    locations = [tx.arena_location() for tx in parents]
+    if all(loc is not None for loc in locations):
+        arena = locations[0][0]
+        if arena.spec == spec and all(loc[0] is arena for loc in locations):
+            stacked = arena.rows([loc[1] for loc in locations])
+            return spec.unflatten(FLAT_AGGREGATORS[config.aggregator](stacked))
+    return get_aggregator(config.aggregator)([tx.model_weights for tx in parents])
+
+
 def _execute_attack(
     context: RoundContext, unit: ClientWorkUnit, rng: np.random.Generator
 ) -> ClientRoundResult:
@@ -163,12 +195,14 @@ def _execute_attack(
         context.view, context.config.num_tips, rng
     )
     genesis = context.view.genesis.model_weights
+    # One normal draw per parameter array keeps the rng stream identical
+    # to the historical per-layer payload; shipped as a single vector.
     payload = [rng.normal(0.0, 1.0, size=w.shape) for w in genesis]
     return ClientRoundResult(
         client_id=unit.client_id,
         publish=True,
         parents=tuple(dict.fromkeys(tips)),
-        model_weights=payload,
+        flat_weights=flatten_weights(payload),
         tags={"malicious": True},
     )
 
@@ -199,10 +233,10 @@ def execute_unit(payload: tuple[RoundContext, "Client | None", ClientWorkUnit]) 
     with stopwatch:
         tips = selector.select_tips(context.view, config.num_tips, walk_rng)
 
-    parent_models = [context.view.get(t).model_weights for t in tips]
-    aggregate = get_aggregator(config.aggregator)
-    reference = client.apply_personalization(aggregate(parent_models))
-    _, reference_accuracy = client.evaluate_weights(reference)
+    reference = client.apply_personalization(
+        _aggregate_parents(context, tips, config, client)
+    )
+    reference_accuracy = client.accuracy_of_weights(reference)
 
     trained, _train_loss = client.train(reference)
     client.update_personal_tail(trained)
@@ -221,7 +255,7 @@ def execute_unit(payload: tuple[RoundContext, "Client | None", ClientWorkUnit]) 
         client_id=unit.client_id,
         publish=publish,
         parents=tuple(dict.fromkeys(tips)) if publish else (),
-        model_weights=trained if publish else None,
+        flat_weights=flatten_weights(trained) if publish else None,
         tags=dict(client.data.metadata.get("tags", {})),
         reference_accuracy=reference_accuracy,
         test_accuracy=test_accuracy,

@@ -1,0 +1,199 @@
+"""Weight arena: interning, views, growth, pickling, tangle integration."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.dag.arena import WeightArena
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.nn.serialization import FlatSpec
+
+SHAPES = ((3, 2), (2,))
+
+
+@pytest.fixture
+def spec():
+    return FlatSpec(SHAPES)
+
+
+def weight_list(rng):
+    return [rng.normal(size=s) for s in SHAPES]
+
+
+# ---------------------------------------------------------------- arena
+def test_intern_and_row_roundtrip(spec, rng):
+    arena = WeightArena(spec)
+    flat = spec.flatten(weight_list(rng))
+    row = arena.intern(flat)
+    np.testing.assert_array_equal(arena.row(row), flat)
+    assert len(arena) == 1
+
+
+def test_rows_are_read_only_views(spec, rng):
+    arena = WeightArena(spec)
+    arena.intern(spec.flatten(weight_list(rng)))
+    row = arena.row(0)
+    assert not row.flags.writeable
+    with pytest.raises(ValueError):
+        row[0] = 1.0
+
+
+def test_growth_preserves_existing_rows(spec, rng):
+    arena = WeightArena(spec, initial_capacity=2)
+    flats = [spec.flatten(weight_list(rng)) for _ in range(9)]
+    for f in flats:
+        arena.intern(f)
+    assert arena.capacity >= 9
+    for i, f in enumerate(flats):
+        np.testing.assert_array_equal(arena.row(i), f)
+
+
+def test_contiguous_rows_slice_is_zero_copy(spec, rng):
+    arena = WeightArena(spec)
+    for _ in range(6):
+        arena.intern(spec.flatten(weight_list(rng)))
+    block = arena.rows(range(2, 5))
+    assert block.shape == (3, spec.total)
+    assert np.shares_memory(block, arena.row(2))
+    gathered = arena.rows([0, 4, 2])  # arbitrary order pays one gather
+    np.testing.assert_array_equal(gathered[1], arena.row(4))
+
+
+def test_row_bounds_checked(spec):
+    arena = WeightArena(spec)
+    with pytest.raises(IndexError):
+        arena.row(0)
+    with pytest.raises(IndexError):
+        arena.rows([0])
+
+
+def test_float32_storage_rounds(spec, rng):
+    arena = WeightArena(spec, dtype=np.float32)
+    flat = spec.flatten(weight_list(rng))
+    arena.intern(flat)
+    assert arena.row(0).dtype == np.float32
+    np.testing.assert_array_equal(arena.row(0), flat.astype(np.float32))
+    with pytest.raises(ValueError, match="float64 or float32"):
+        WeightArena(spec, dtype=np.int32)
+
+
+def test_pickle_ships_only_live_rows(spec, rng):
+    arena = WeightArena(spec, initial_capacity=64)
+    arena.intern(spec.flatten(weight_list(rng)))
+    payload = pickle.dumps(arena)
+    # 1 live row of float64s (plus pickle framing), not 64 rows of
+    # capacity headroom
+    assert len(payload) < 64 * spec.total * 8 // 2
+    restored = pickle.loads(payload)
+    assert len(restored) == 1
+    np.testing.assert_array_equal(restored.row(0), arena.row(0))
+    restored.intern(spec.flatten(weight_list(rng)))  # still appendable
+
+
+# ----------------------------------------------------- tangle integration
+def test_tangle_interns_transactions(rng):
+    genesis = weight_list(rng)
+    tangle = Tangle(genesis)
+    assert tangle.genesis.arena_bound
+    payload = weight_list(rng)
+    tangle.add(Transaction("t1", (GENESIS_ID,), payload, 0, 0))
+    tx = tangle.get("t1")
+    assert tx.arena_bound
+    assert len(tangle.arena) == 2
+    # compatibility view: same values, zero-copy views into the arena row
+    for stored, original in zip(tx.model_weights, payload):
+        np.testing.assert_array_equal(stored, original)
+        assert np.shares_memory(stored, tangle.arena.row(1))
+    # interning copied: mutating the caller's arrays cannot reach the DAG
+    payload[0][:] = 123.0
+    assert not np.allclose(tx.model_weights[0], 123.0)
+
+
+def test_cached_views_refresh_after_slab_growth(rng):
+    """Growth reallocates the slab; cached compatibility views must
+    rebuild against the new buffer instead of pinning the old one."""
+    genesis = weight_list(rng)
+    tangle = Tangle(genesis)
+    before = tangle.genesis.model_weights
+    assert np.shares_memory(before[0], tangle.arena._slab)
+    generation = tangle.arena.generation
+    while tangle.arena.generation == generation:  # force at least one growth
+        tangle.add(
+            Transaction(f"g{len(tangle)}", (GENESIS_ID,), weight_list(rng), 0, 0)
+        )
+    after = tangle.genesis.model_weights
+    assert np.shares_memory(after[0], tangle.arena._slab)
+    for a, g in zip(after, genesis):
+        np.testing.assert_array_equal(a, g)
+
+
+def test_tangle_flat_weights_accessor(rng):
+    tangle = Tangle(weight_list(rng))
+    flat = tangle.flat_weights(GENESIS_ID)
+    np.testing.assert_array_equal(flat, tangle.spec.flatten(tangle.genesis.model_weights))
+    with pytest.raises(KeyError):
+        tangle.flat_weights("nope")
+
+
+def test_foreign_shapes_fall_back_to_private_storage(rng):
+    tangle = Tangle(weight_list(rng))
+    foreign = [rng.normal(size=(5,))]  # not the genesis architecture
+    tangle.add(Transaction("alien", (GENESIS_ID,), foreign, 0, 0))
+    tx = tangle.get("alien")
+    assert not tx.arena_bound
+    np.testing.assert_array_equal(tx.model_weights[0], foreign[0])
+    assert len(tangle.arena) == 1  # only genesis interned
+
+
+def test_transaction_from_flat(rng):
+    tangle = Tangle(weight_list(rng))
+    flat = tangle.spec.flatten(weight_list(rng))
+    tx = Transaction.from_flat("f1", (GENESIS_ID,), flat, tangle.spec, 3, 0)
+    # readable before interning, and after
+    np.testing.assert_array_equal(tx.model_weights[1], flat[6:])
+    tangle.add(tx)
+    assert tx.arena_bound
+    np.testing.assert_array_equal(tangle.flat_weights("f1"), flat)
+    with pytest.raises(ValueError, match="vector"):
+        Transaction.from_flat("f2", (), flat[:-1], tangle.spec, 0, 0)
+
+
+def test_persistence_preserves_store_dtype(rng, tmp_path):
+    from repro.dag.persistence import load_tangle, save_tangle
+
+    tangle = Tangle(weight_list(rng), store_dtype=np.float32)
+    tangle.add(Transaction("t0", (GENESIS_ID,), weight_list(rng), 0, 0))
+    restored = load_tangle(save_tangle(tangle, tmp_path / "t32"))
+    assert restored.arena.dtype == np.float32
+    for a, b in zip(restored.get("t0").model_weights, tangle.get("t0").model_weights):
+        np.testing.assert_array_equal(a, b)
+    # float64 (default) round-trips as float64
+    tangle64 = Tangle(weight_list(rng))
+    assert load_tangle(save_tangle(tangle64, tmp_path / "t64")).arena.dtype == np.float64
+
+
+def test_float32_tangle_stores_rounded_models(rng):
+    genesis = weight_list(rng)
+    tangle = Tangle(genesis, store_dtype=np.float32)
+    assert tangle.arena.dtype == np.float32
+    stored = tangle.genesis.model_weights
+    for s, g in zip(stored, genesis):
+        assert s.dtype == np.float32
+        np.testing.assert_array_equal(s, g.astype(np.float32))
+
+
+def test_pickled_tangle_roundtrips_and_rebuilds_views(rng):
+    tangle = Tangle(weight_list(rng))
+    for i in range(4):
+        tangle.add(Transaction(f"t{i}", (GENESIS_ID,), weight_list(rng), i, 0))
+    _ = tangle.get("t2").model_weights  # populate a lazy view cache
+    restored = pickle.loads(pickle.dumps(tangle))
+    assert len(restored) == len(tangle)
+    for tx_id in ["genesis", "t0", "t3"]:
+        for a, b in zip(
+            restored.get(tx_id).model_weights, tangle.get(tx_id).model_weights
+        ):
+            np.testing.assert_array_equal(a, b)
+    assert restored.get("t1").arena_bound

@@ -1,0 +1,108 @@
+"""Vectorized aggregation must reproduce the per-layer reference path.
+
+The flat plane rewrote ``mean``/``median``/``trimmed_mean`` as single
+stacked-matrix reductions; ``REFERENCE_AGGREGATORS`` preserves the
+original per-layer loops as the oracle.  Median and trimmed mean reduce
+the same ``k`` values per coordinate through the same numpy kernels, so
+they are bit-identical.  The legacy mean used a sequential Python
+``sum`` whose rounding can differ from numpy's pairwise reduction in the
+final ulp for larger ``k`` — bit-identity is asserted where the orders
+provably coincide (k <= 2, the DAG's parent merge) and bounded at one
+ulp-scale tolerance elsewhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import (
+    AGGREGATORS,
+    FLAT_AGGREGATORS,
+    REFERENCE_AGGREGATORS,
+    mean_aggregate,
+    trimmed_mean_aggregate,
+)
+from repro.nn.serialization import FlatSpec
+
+SHAPES = ((4, 3), (3,), (3, 5), (5,), ())
+
+
+def weight_sets(k, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return [[scale * rng.normal(size=s) for s in SHAPES] for _ in range(k)]
+
+
+@pytest.mark.parametrize("name", sorted(AGGREGATORS))
+@pytest.mark.parametrize("k", [1, 2, 3, 5, 8, 32])
+def test_vectorized_matches_reference(name, k):
+    sets = weight_sets(k, seed=k)
+    new = AGGREGATORS[name](sets)
+    old = REFERENCE_AGGREGATORS[name](sets)
+    # Summation-order freedom exists only where the two paths legitimately
+    # reduce in different orders: the legacy mean's sequential Python sum
+    # (k > 2), and the legacy trimmed mean's pointless pre-sort when the
+    # trim count rounds to zero (k > 2 with floor(0.2 k) == 0, i.e. k=3,4).
+    # Everywhere else the reductions coincide and must be bit-identical.
+    ulp_only = k > 2 and (name == "mean" or (name == "trimmed_mean" and k < 5))
+    assert len(new) == len(old)
+    for a, b in zip(new, old):
+        assert a.shape == b.shape
+        if ulp_only:
+            np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-12)
+        else:
+            np.testing.assert_array_equal(a, b)  # bit-identical
+
+
+@pytest.mark.parametrize("name", sorted(FLAT_AGGREGATORS))
+@pytest.mark.parametrize("k", [1, 2, 7])
+def test_flat_primitives_match_list_facade(name, k):
+    sets = weight_sets(k, seed=10 + k)
+    spec = FlatSpec.from_weights(sets[0])
+    flat_result = FLAT_AGGREGATORS[name](spec.stack(sets))
+    list_result = AGGREGATORS[name](sets)
+    np.testing.assert_array_equal(flat_result, spec.flatten(list_result))
+
+
+def test_single_input_is_identity():
+    (only,) = weight_sets(1, seed=3)
+    for name, aggregate in AGGREGATORS.items():
+        for a, b in zip(aggregate([only]), only):
+            np.testing.assert_array_equal(a, b, err_msg=name)
+
+
+def test_two_inputs_mean_is_exact_midpoint_bitwise():
+    a, b = weight_sets(2, seed=4)
+    result = mean_aggregate([a, b])
+    for r, x, y in zip(result, a, b):
+        np.testing.assert_array_equal(r, (x + y) / 2.0)
+
+
+def test_trim_that_rounds_to_zero_equals_mean():
+    """floor(k * fraction) == 0: nothing trimmed, degenerate to mean."""
+    sets = weight_sets(4, seed=5)
+    trimmed = trimmed_mean_aggregate(sets, trim_fraction=0.2)  # floor(0.8) = 0
+    mean = mean_aggregate(sets)
+    for a, b in zip(trimmed, mean):
+        np.testing.assert_array_equal(a, b)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_trimmed_mean_degenerate_k(k):
+    """k=1 and k=2 leave no room to trim even at large fractions."""
+    sets = weight_sets(k, seed=6)
+    trimmed = trimmed_mean_aggregate(sets, trim_fraction=0.45)
+    mean = mean_aggregate(sets)
+    for a, b in zip(trimmed, mean):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_reference_validation_matches_vectorized():
+    bad = [[np.zeros((2, 2))], [np.zeros((3,))]]
+    for name in AGGREGATORS:
+        with pytest.raises(ValueError):
+            AGGREGATORS[name](bad)
+        with pytest.raises(ValueError):
+            REFERENCE_AGGREGATORS[name](bad)
+    with pytest.raises(ValueError):
+        trimmed_mean_aggregate(weight_sets(2), trim_fraction=0.5)
+    with pytest.raises(ValueError):
+        REFERENCE_AGGREGATORS["trimmed_mean"](weight_sets(2), trim_fraction=0.5)

@@ -71,20 +71,16 @@ def test_deterministic_under_seed(tiny_fmnist, mlp_builder, fast_train_config):
 
 
 def _force_evaluation_pattern(sim, reference_acc, trained_acc):
-    """Patch every client so evaluate_weights alternates reference/trained.
+    """Patch every client's two gate evaluations.
 
-    run_round evaluates exactly twice per active client, reference first;
-    this pins the gate's comparison order as a behavioural contract.
+    run_round scores the reference (merged-parent) model through the
+    loss-free ``accuracy_of_weights`` path and the freshly trained model
+    through ``evaluate_weights`` (the round record needs its loss); this
+    pins the gate's comparison seam as a behavioural contract.
     """
     for client in sim.clients.values():
-        state = {"calls": 0}
-
-        def fake_evaluate(weights, *, _state=state):
-            accuracy = reference_acc if _state["calls"] % 2 == 0 else trained_acc
-            _state["calls"] += 1
-            return 0.0, accuracy
-
-        client.evaluate_weights = fake_evaluate
+        client.accuracy_of_weights = lambda weights, _acc=reference_acc: _acc
+        client.evaluate_weights = lambda weights, _acc=trained_acc: (0.0, _acc)
 
 
 def test_publish_gate_blocks_strictly_worse_models(

@@ -1,0 +1,111 @@
+"""Classifier flat fast paths: load_flat, get_flat, buffer reuse,
+accuracy-only evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import zoo
+from repro.nn.serialization import FlatSpec
+
+
+@pytest.fixture
+def model(rng):
+    return zoo.build_mlp(rng, in_features=8, hidden=(12,), num_classes=3)
+
+
+def toy_problem(rng, n=60):
+    x = rng.normal(size=(n, 8))
+    y = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0).astype(int)
+    return x, y
+
+
+def test_flat_spec_matches_parameters(model):
+    spec = model.flat_spec
+    assert spec.total == model.parameter_count
+    assert spec.shapes == tuple(w.shape for w in model.get_weights())
+
+
+def test_get_flat_equals_flattened_weights(model):
+    spec = model.flat_spec
+    np.testing.assert_array_equal(model.get_flat(), spec.flatten(model.get_weights()))
+
+
+def test_load_flat_equals_set_weights_bitwise(model, rng):
+    weights = [w + rng.normal(size=w.shape) for w in model.get_weights()]
+    model.set_weights(weights)
+    via_set = model.get_flat()
+
+    flat = model.flat_spec.flatten(weights)
+    model.load_flat(np.zeros_like(flat))  # scramble first
+    model.load_flat(flat)
+    np.testing.assert_array_equal(model.get_flat(), via_set)
+
+
+def test_load_flat_copies_not_aliases(model):
+    flat = model.get_flat() + 1.0
+    model.load_flat(flat)
+    flat[:] = -99.0
+    assert not np.allclose(model.get_flat(), -99.0)
+
+
+def test_load_flat_accepts_float32_and_readonly(model):
+    flat32 = model.get_flat().astype(np.float32)
+    flat32.flags.writeable = False  # arena rows are read-only views
+    model.load_flat(flat32)
+    np.testing.assert_array_equal(model.get_flat(), flat32.astype(np.float64))
+    for p in model.net.parameters():
+        assert p.value.dtype == np.float64  # params stay double
+
+
+def test_load_flat_rejects_wrong_length(model):
+    with pytest.raises(ValueError, match="flat vector"):
+        model.load_flat(np.zeros(model.parameter_count + 1))
+
+
+def test_weight_loading_never_reallocates_buffers(model, rng):
+    """set_weights / load_flat reuse value and grad buffers in place.
+
+    Optimizer momentum slots key on parameter identity and layers
+    accumulate gradients with ``+=``; the walk loads weights thousands of
+    times, so every load must be a copy into existing memory and must
+    not touch the gradient buffers at all.
+    """
+    params = model.net.parameters()
+    value_ids = [id(p.value) for p in params]
+    grad_ids = [id(p.grad) for p in params]
+
+    model.set_weights([w * 2.0 for w in model.get_weights()])
+    model.load_flat(model.get_flat() + 1.0)
+
+    assert [id(p.value) for p in params] == value_ids
+    assert [id(p.grad) for p in params] == grad_ids
+
+
+def test_train_batch_sanitizes_dirty_gradients(model, rng):
+    """Gradients are zeroed where they are consumed (train_batch), so
+    stale grads from interrupted work cannot leak into an update."""
+    from repro.nn import SGD
+
+    x, y = toy_problem(rng, n=10)
+    start = model.get_flat()
+
+    model.load_flat(start)
+    model.train_batch(x, y, SGD(0.1))
+    clean = model.get_flat()
+
+    model.load_flat(start)
+    for p in model.net.parameters():
+        p.grad += 1000.0  # garbage left behind by a hypothetical abort
+    model.train_batch(x, y, SGD(0.1))
+    np.testing.assert_array_equal(model.get_flat(), clean)
+
+
+def test_accuracy_fast_path_matches_evaluate(model, rng):
+    x, y = toy_problem(rng)
+    assert model.accuracy(x, y) == model.evaluate(x, y)[1]
+    assert model.accuracy(x, y, batch_size=7) == model.evaluate(x, y, batch_size=7)[1]
+
+
+def test_accuracy_fast_path_rejects_empty(model):
+    with pytest.raises(ValueError):
+        model.accuracy(np.empty((0, 8)), np.empty((0,), dtype=int))

@@ -1,0 +1,86 @@
+"""Property-based tests for the flat-weight plane (hypothesis).
+
+The flat plane's core contract: ``FlatSpec.flatten`` /
+``FlatSpec.unflatten`` are exact inverses for arbitrary shape lists and
+both storage dtypes, and ``unflatten`` is zero-copy (views, not copies).
+"""
+
+import numpy as np
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.serialization import FlatSpec
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+# Arbitrary ranks 0-3 with small dims: scalars, vectors, matrices, tensors.
+shapes = st.lists(
+    st.tuples() | st.tuples(st.integers(1, 5))
+    | st.tuples(st.integers(1, 4), st.integers(1, 4))
+    | st.tuples(st.integers(1, 3), st.integers(1, 3), st.integers(1, 3)),
+    min_size=1,
+    max_size=5,
+)
+
+
+def weights_for(shape_list, dtype, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=s).astype(dtype) for s in shape_list]
+
+
+@given(shapes, st.sampled_from([np.float64, np.float32]), st.integers(0, 2**32 - 1))
+def test_flatten_unflatten_roundtrip_bit_exact(shape_list, dtype, seed):
+    weights = weights_for(shape_list, dtype, seed)
+    spec = FlatSpec.from_weights(weights)
+    flat = spec.flatten(weights)
+    assert flat.shape == (spec.total,)
+    restored = spec.unflatten(flat)
+    assert len(restored) == len(weights)
+    for original, back in zip(weights, restored):
+        assert back.shape == original.shape
+        # float64 storage of float32 inputs is exact; compare in float64
+        np.testing.assert_array_equal(
+            back, np.asarray(original, dtype=np.float64)
+        )
+
+
+@given(shapes, st.integers(0, 2**32 - 1))
+def test_unflatten_then_flatten_identity(shape_list, seed):
+    spec = FlatSpec(tuple(shape_list))
+    rng = np.random.default_rng(seed)
+    flat = rng.normal(size=spec.total)
+    again = spec.flatten(spec.unflatten(flat))
+    np.testing.assert_array_equal(again, flat)
+
+
+@given(shapes, st.integers(0, 2**32 - 1))
+def test_unflatten_returns_views(shape_list, seed):
+    spec = FlatSpec(tuple(shape_list))
+    rng = np.random.default_rng(seed)
+    flat = rng.normal(size=spec.total)
+    for view in spec.unflatten(flat):
+        assert np.shares_memory(view, flat)
+
+
+@given(shapes, st.integers(0, 2**32 - 1))
+def test_flatten_into_preallocated_row(shape_list, seed):
+    weights = weights_for(shape_list, np.float64, seed)
+    spec = FlatSpec.from_weights(weights)
+    matrix = np.zeros((3, spec.total))
+    out = spec.flatten(weights, out=matrix[1])
+    assert out.base is not None  # wrote into the row, no fresh allocation
+    np.testing.assert_array_equal(matrix[1], spec.flatten(weights))
+    np.testing.assert_array_equal(matrix[0], 0.0)
+    np.testing.assert_array_equal(matrix[2], 0.0)
+
+
+@given(shapes, st.integers(0, 2**32 - 1))
+def test_spec_equality_is_structural(shape_list, seed):
+    weights = weights_for(shape_list, np.float64, seed)
+    a = FlatSpec.from_weights(weights)
+    b = FlatSpec(tuple(shape_list))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != FlatSpec(tuple(shape_list) + ((7,),))
