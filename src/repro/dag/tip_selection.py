@@ -158,8 +158,12 @@ class AccuracyTipSelector:
     - ``batch_accuracy_fn``, when given, is preferred over
       ``accuracy_fn``: it receives all uncached-or-cached candidate ids
       of a walk step at once and returns their accuracies as one array
-      (:meth:`repro.fl.client.Client.tx_accuracies`).  This collapses the
-      per-candidate call/rebuild overhead into a single batched request.
+      (:meth:`repro.fl.client.Client.tx_accuracies`).  Beyond collapsing
+      the per-candidate call overhead, this is the entry point of the
+      **fused evaluation plane**: the step's uncached candidates are
+      evaluated in one vectorized forward pass over a ``(k, P)`` stack
+      of their arena rows (:meth:`repro.nn.model.Classifier.accuracy_many`),
+      falling back per model for architectures without fused kernels.
     - ``evaluation_counter`` (optional) is called once per walk step with
       the number of candidates considered — the scalability experiment
       (Figure 15) uses it to account walk cost independently of caching.

@@ -9,10 +9,33 @@ simulator can model propagation delay without copying the DAG.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.dag.tangle import Tangle
 from repro.dag.transaction import GENESIS_ID, Transaction
 
-__all__ = ["TangleView"]
+__all__ = ["TangleView", "visible_tips"]
+
+
+def visible_tips(tangle: Tangle, visible: Callable[[Transaction], bool]) -> list[str]:
+    """Tips of the sub-DAG induced by a visibility predicate, in one pass.
+
+    A visible transaction is a tip when none of its approvers is
+    visible.  Computing the visible id set once and testing approver
+    membership against it costs O(transactions + edges); the naive
+    formulation — calling a view's ``approvers`` per transaction, each
+    call re-validating visibility through ``get`` — re-pays the
+    predicate per edge endpoint and degenerates quadratically on
+    delay-bounded views.  Shared by :meth:`TangleView.tips` and
+    :meth:`repro.fl.async_learning.TimedTangleView.tips`.
+    """
+    visible_ids = [tx.tx_id for tx in tangle.transactions() if visible(tx)]
+    visible_set = set(visible_ids)
+    return sorted(
+        tx_id
+        for tx_id in visible_ids
+        if not any(a in visible_set for a in tangle.approvers(tx_id))
+    )
 
 
 class TangleView:
@@ -59,12 +82,8 @@ class TangleView:
         ]
 
     def tips(self) -> list[str]:
-        """Visible transactions with no visible approvers."""
-        return sorted(
-            tx.tx_id
-            for tx in self.transactions()
-            if not self.approvers(tx.tx_id)
-        )
+        """Visible transactions with no visible approvers (one pass)."""
+        return visible_tips(self._tangle, self._visible)
 
     def is_tip(self, tx_id: str) -> bool:
         return tx_id in self and not self.approvers(tx_id)

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.dag.tangle import Tangle
 from repro.dag.transaction import Transaction
+from repro.dag.view import visible_tips
 from repro.data.base import FederatedDataset
 from repro.fl.aggregation import get_aggregator
 from repro.fl.client import Client
@@ -43,15 +44,42 @@ ModelBuilder = Callable[[np.random.Generator], Classifier]
 
 
 class TimedTangleView:
-    """Tangle view filtered by per-transaction visibility times."""
+    """Tangle view filtered by per-transaction visibility times.
 
-    def __init__(self, tangle: Tangle, visible_from: dict[str, float], now: float):
+    ``visible_from`` gives the time each transaction becomes visible to
+    the *network* (publication plus propagation delay).  ``observer``
+    and ``published_at`` implement the issuer exemption: a real client's
+    local tangle always contains its own publications, so transactions
+    the observer itself issued are visible from their publication time —
+    the propagation delay only governs everyone else.
+    """
+
+    def __init__(
+        self,
+        tangle: Tangle,
+        visible_from: dict[str, float],
+        now: float,
+        *,
+        observer: int | None = None,
+        published_at: dict[str, float] | None = None,
+    ):
         self._tangle = tangle
         self._visible_from = visible_from
+        self._observer = observer
+        self._published_at = {} if published_at is None else published_at
         self.now = now
 
     def _visible(self, tx_id: str) -> bool:
-        return self._visible_from.get(tx_id, float("inf")) <= self.now
+        if self._visible_from.get(tx_id, float("inf")) <= self.now:
+            return True
+        if self._observer is None:
+            return False
+        published = self._published_at.get(tx_id)
+        return (
+            published is not None
+            and published <= self.now
+            and self._tangle.get(tx_id).issuer == self._observer
+        )
 
     def __contains__(self, tx_id: str) -> bool:
         return tx_id in self._tangle and self._visible(tx_id)
@@ -71,11 +99,7 @@ class TimedTangleView:
         return [a for a in self._tangle.approvers(tx_id) if self._visible(a)]
 
     def tips(self) -> list[str]:
-        return sorted(
-            tx.tx_id
-            for tx in self.transactions()
-            if not self.approvers(tx.tx_id)
-        )
+        return visible_tips(self._tangle, lambda tx: self._visible(tx.tx_id))
 
     def is_tip(self, tx_id: str) -> bool:
         return tx_id in self and not self.approvers(tx_id)
@@ -172,6 +196,9 @@ class AsyncTangleLearning:
         self.events: list[PublishEvent] = []
         # Genesis is visible to everyone from the start.
         self._visible_from: dict[str, float] = {self.tangle.genesis.tx_id: 0.0}
+        # Publication times back the issuer exemption: a client always
+        # sees its own transactions from the moment it published them.
+        self._published_at: dict[str, float] = {self.tangle.genesis.tx_id: 0.0}
         for client_id in sorted(self.clients):
             self._schedule_cycle(client_id, self._think_delay())
 
@@ -203,8 +230,16 @@ class AsyncTangleLearning:
         client = self.clients[cycle.client_id]
         cfg = self.dag_config
 
-        # The client worked on the tangle as it saw it when it STARTED.
-        view = TimedTangleView(self.tangle, self._visible_from, cycle.start_time)
+        # The client worked on the tangle as it saw it when it STARTED —
+        # network-delayed for everyone else's transactions, but its own
+        # publications are local state and visible immediately.
+        view = TimedTangleView(
+            self.tangle,
+            self._visible_from,
+            cycle.start_time,
+            observer=cycle.client_id,
+            published_at=self._published_at,
+        )
         walk_rng = self._rngs.get("walk", cycle.seq)
         selector = self._make_selector(client)
         tips = selector.select_tips(view, cfg.num_tips, walk_rng)
@@ -220,10 +255,14 @@ class AsyncTangleLearning:
         tx_id = None
         published = (not cfg.publish_gate) or accuracy >= reference_accuracy
         if published:
-            tx = Transaction(
+            # Publish through the flat plane, exactly like the round
+            # simulator: one contiguous vector that Tangle.add interns
+            # as an arena row — never a per-layer list.
+            tx = Transaction.from_flat(
                 tx_id=self.tangle.next_tx_id(cycle.client_id),
                 parents=tuple(dict.fromkeys(tips)),
-                model_weights=trained,
+                flat=self.tangle.spec.flatten(trained),
+                spec=self.tangle.spec,
                 issuer=cycle.client_id,
                 round_index=int(self.now),  # coarse time bucket for analysis
                 tags=dict(client.data.metadata.get("tags", {})),
@@ -235,6 +274,7 @@ class AsyncTangleLearning:
                 if self.mean_propagation_delay > 0
                 else 0.0
             )
+            self._published_at[tx.tx_id] = self.now
             self._visible_from[tx.tx_id] = self.now + delay
 
         event = PublishEvent(

@@ -143,16 +143,74 @@ class Client:
         """Batched :meth:`tx_accuracy` over all of ``tx_ids``.
 
         The walk's preferred evaluation entry point: one call per walk
-        step covers every candidate approver (cached ids are dictionary
-        lookups, the rest evaluate once and populate the cache), and it
-        is the seam where a future backend can evaluate several candidate
-        models in a single fused forward pass.  Returns accuracies in
-        the order of ``tx_ids``.
+        step covers every candidate approver.  Cached ids are dictionary
+        lookups; the uncached remainder is deduplicated and — when the
+        model's layers all have fused kernels and no personalization is
+        active — evaluated in **one fused forward pass** over a
+        ``(k, P)`` stack of the candidates' flat rows
+        (:meth:`Classifier.accuracy_many`), sliced zero-copy from the
+        tangle's weight arena when the rows are contiguous.  Candidates
+        the fused plane cannot take (foreign architectures, unfused
+        layers, personalization) fall back to the per-model
+        :meth:`tx_accuracy` loop, which is bit-identical in float64.
+        Returns accuracies in the order of ``tx_ids``.
         """
-        return np.array(
-            [self.tx_accuracy(tangle, tx_id) for tx_id in tx_ids],
-            dtype=np.float64,
-        )
+        out = np.empty(len(tx_ids), dtype=np.float64)
+        pending: dict[str, list[int]] = {}
+        for position, tx_id in enumerate(tx_ids):
+            cached = self._tx_accuracy_cache.get(tx_id)
+            if cached is not None:
+                out[position] = cached
+            else:
+                pending.setdefault(tx_id, []).append(position)
+        if pending:
+            for tx_id, accuracy in self._evaluate_uncached(
+                tangle, list(pending)
+            ).items():
+                for position in pending[tx_id]:
+                    out[position] = accuracy
+        return out
+
+    def _evaluate_uncached(
+        self, tangle: Tangle, tx_ids: list[str]
+    ) -> dict[str, float]:
+        """Evaluate distinct uncached transactions, fused where possible."""
+        accuracies: dict[str, float] = {}
+        if not self.personal_params and self.model.supports_fused_eval:
+            spec = self.model.flat_spec
+            fused: list[tuple[str, "object", np.ndarray]] = []
+            for tx_id in tx_ids:
+                tx = tangle.get(tx_id)
+                try:
+                    fused.append((tx_id, tx, tx.flat_vector(spec)))
+                except ValueError:
+                    pass  # foreign architecture: per-model fallback below
+            if fused:
+                stacked = self._stack_candidate_rows(fused, spec)
+                values = self.model.accuracy_many(
+                    stacked, self.data.x_test, self.data.y_test
+                )
+                self.evaluations += len(fused)
+                for (tx_id, _, _), value in zip(fused, values):
+                    accuracy = float(value)
+                    self._tx_accuracy_cache[tx_id] = accuracy
+                    accuracies[tx_id] = accuracy
+        for tx_id in tx_ids:
+            if tx_id not in accuracies:
+                accuracies[tx_id] = self.tx_accuracy(tangle, tx_id)
+        return accuracies
+
+    @staticmethod
+    def _stack_candidate_rows(fused, spec) -> np.ndarray:
+        """``(k, P)`` stack of candidate rows — a zero-copy slab slice
+        when the candidates are contiguous rows of one arena, a single
+        gather when scattered, ``np.stack`` only for unbound models."""
+        locations = [tx.arena_location() for _, tx, _ in fused]
+        if all(loc is not None for loc in locations):
+            arena = locations[0][0]
+            if arena.spec == spec and all(loc[0] is arena for loc in locations):
+                return arena.rows([loc[1] for loc in locations])
+        return np.stack([flat for _, _, flat in fused])
 
     def tx_accuracy_cache(self) -> dict[str, float]:
         """Snapshot of the cached transaction evaluations.

@@ -22,12 +22,19 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
 class ReLU(Layer):
     """Rectified linear unit."""
 
+    fused_eval = True
+
     def __init__(self) -> None:
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
+
+    def forward_many(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool
+    ) -> tuple[np.ndarray, bool]:
+        return np.where(x > 0, x, 0.0), batched
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -40,12 +47,19 @@ class ReLU(Layer):
 class Tanh(Layer):
     """Hyperbolic tangent."""
 
+    fused_eval = True
+
     def __init__(self) -> None:
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
         self._out = np.tanh(x)
         return self._out
+
+    def forward_many(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool
+    ) -> tuple[np.ndarray, bool]:
+        return np.tanh(x), batched
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._out is None:
@@ -58,12 +72,19 @@ class Tanh(Layer):
 class Sigmoid(Layer):
     """Logistic sigmoid."""
 
+    fused_eval = True
+
     def __init__(self) -> None:
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
         self._out = sigmoid(x)
         return self._out
+
+    def forward_many(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool
+    ) -> tuple[np.ndarray, bool]:
+        return sigmoid(x), batched
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._out is None:

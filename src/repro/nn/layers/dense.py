@@ -40,6 +40,8 @@ class Dense(Layer):
         self.out_features = out_features
         self._x: np.ndarray | None = None
 
+    fused_eval = True
+
     def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
         if x.shape[-1] != self.in_features:
             raise ValueError(
@@ -47,6 +49,32 @@ class Dense(Layer):
             )
         self._x = x
         return x @ self.weight.value + self.bias.value
+
+    def forward_many(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool
+    ) -> tuple[np.ndarray, bool]:
+        """Batched-parameter affine map: ``k`` kernels in one matmul.
+
+        The ``(k, in, out)`` kernel stack broadcasts against the input's
+        stack dimensions, so numpy performs the same ``(..., in) @
+        (in, out)`` product per model that :meth:`forward` performs —
+        bit-identical in float64, without reloading weights between
+        models.
+        """
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Dense expected last dim {self.in_features}, got shape {x.shape}"
+            )
+        kernel, bias = params
+        k = kernel.shape[0]
+        stacked = x if batched else x[None]
+        # Align the model axis with the input's leading stack axis; the
+        # remaining stack dims (e.g. time for (k, N, T, F)) broadcast.
+        kernel = kernel.reshape(
+            (k,) + (1,) * (stacked.ndim - 3) + (self.in_features, self.out_features)
+        )
+        out = np.matmul(stacked, kernel)
+        return out + bias.reshape((k,) + (1,) * (out.ndim - 2) + (self.out_features,)), True
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         x = self._x

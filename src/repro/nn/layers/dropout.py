@@ -18,12 +18,20 @@ class Dropout(Layer):
     seed.
     """
 
+    fused_eval = True
+
     def __init__(self, rate: float, rng: np.random.Generator | int | None = None):
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
         self.rate = rate
         self._rng = ensure_rng(rng)
         self._mask: np.ndarray | None = None
+
+    def forward_many(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool
+    ) -> tuple[np.ndarray, bool]:
+        # Evaluation semantics: dropout is the identity outside training.
+        return x, batched
 
     def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
         if not train or self.rate == 0.0:

@@ -12,12 +12,21 @@ __all__ = ["Flatten", "LastTimeStep"]
 class Flatten(Layer):
     """Flatten all non-batch dimensions: ``(N, ...) -> (N, prod(...))``."""
 
+    fused_eval = True
+
     def __init__(self) -> None:
         self._shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
         self._shape = x.shape
         return x.reshape(x.shape[0], -1)
+
+    def forward_many(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool
+    ) -> tuple[np.ndarray, bool]:
+        if batched:
+            return x.reshape(x.shape[0], x.shape[1], -1), True
+        return x.reshape(x.shape[0], -1), False
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._shape is None:
@@ -34,6 +43,8 @@ class LastTimeStep(Layer):
     prediction.
     """
 
+    fused_eval = True
+
     def __init__(self) -> None:
         self._shape: tuple[int, ...] | None = None
 
@@ -42,6 +53,13 @@ class LastTimeStep(Layer):
             raise ValueError(f"LastTimeStep expects (N, T, H), got {x.shape}")
         self._shape = x.shape
         return x[:, -1, :]
+
+    def forward_many(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool
+    ) -> tuple[np.ndarray, bool]:
+        if x.ndim != (4 if batched else 3):
+            raise ValueError(f"LastTimeStep expects (N, T, H) per model, got {x.shape}")
+        return x[..., -1, :], batched
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._shape is None:

@@ -136,6 +136,67 @@ class Classifier:
             correct += int((logits.argmax(axis=1) == yb).sum())
         return correct / n
 
+    @property
+    def supports_fused_eval(self) -> bool:
+        """True when every layer has a fused multi-model kernel.
+
+        When False, :meth:`accuracy_many` still works — it falls back to
+        the sequential per-model loop (:meth:`load_flat` +
+        :meth:`accuracy`) — it just cannot fuse the models' forwards.
+        """
+        return self.net.fused_eval
+
+    def accuracy_many(
+        self, flat_rows: np.ndarray, x: np.ndarray, y: np.ndarray, *, batch_size: int = 256
+    ) -> np.ndarray:
+        """Accuracy of ``k`` models (rows of a ``(k, P)`` matrix) at once.
+
+        The walk's fused evaluation plane: the rows — typically a slab
+        slice straight out of a tangle's weight arena — are viewed as
+        per-parameter ``(k, *shape)`` stacks (no weight copies) and every
+        model's forward runs in one vectorized pass per batch
+        (:meth:`Sequential.forward_many`).  The batched kernels perform
+        the same per-model numpy products as the sequential path, so in
+        float64 the result is bit-identical to calling :meth:`load_flat`
+        + :meth:`accuracy` per row — which remains the automatic
+        fallback whenever a layer lacks a fused kernel (conv, LSTM,
+        embedding, pooling).
+
+        Note the fused path never touches the model's own parameter
+        buffers; the fallback (like any :meth:`load_flat`) leaves the
+        last row's weights loaded.
+        """
+        rows = np.asarray(flat_rows)
+        if rows.ndim != 2 or rows.shape[1] != self._spec.total:
+            raise ValueError(
+                f"expected a (k, {self._spec.total}) matrix, got shape {rows.shape}"
+            )
+        k = rows.shape[0]
+        if k == 0:
+            return np.empty(0, dtype=np.float64)
+        if not self.supports_fused_eval:
+            out = np.empty(k, dtype=np.float64)
+            for i in range(k):
+                self.load_flat(rows[i])
+                out[i] = self.accuracy(x, y, batch_size=batch_size)
+            return out
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot evaluate on an empty dataset")
+        if rows.dtype != np.float64:
+            # Match load_flat's cast-on-assign (e.g. float32 arenas).
+            rows = rows.astype(np.float64)
+        params = self._spec.unflatten_many(rows)
+        correct = np.zeros(k, dtype=np.int64)
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits, batched = self.net.forward_many(xb, params)
+            if not batched:  # degenerate: no parametered layer in the net
+                logits = np.broadcast_to(logits, (k,) + logits.shape)
+            correct += (logits.argmax(axis=-1) == yb).sum(axis=1)
+        return correct / n
+
     # ----------------------------------------------------------- training
     def train_batch(self, x: np.ndarray, y: np.ndarray, optimizer: SGD) -> float:
         """One optimizer step on a single batch; returns the batch loss."""

@@ -19,10 +19,40 @@ class Layer:
     ``Parameter.grad``.  Layers cache whatever they need between the two
     calls, so a forward/backward pair must not be interleaved with another
     forward on the same layer instance.
+
+    **Fused multi-model evaluation.**  Layers that can evaluate ``k``
+    models' parameters in one vectorized pass set ``fused_eval = True``
+    and implement :meth:`forward_many`.  The contract:
+
+    - ``params`` holds this layer's parameters as ``(k, *shape)`` stacks
+      (one per entry of :meth:`parameters`, in the same order), sliced
+      from a ``(k, P)`` weight matrix by
+      :meth:`~repro.nn.serialization.FlatSpec.unflatten_many`;
+    - ``batched`` says whether ``x`` already carries the leading model
+      axis (``(k, batch, ...)``).  The input starts *shared* (plain
+      ``(batch, ...)``, no model axis) and the first parametered layer
+      introduces the axis — parameterless layers before it operate on
+      the shared input once instead of ``k`` times;
+    - the return value is ``(output, batched)``.
+
+    :meth:`forward_many` is evaluation-only (``train=False`` semantics,
+    no caching for backward) and must produce, model for model, exactly
+    what :meth:`forward` produces — the fused walk path relies on that
+    equivalence bit for bit in float64.
     """
+
+    #: True when the layer implements :meth:`forward_many`.
+    fused_eval = False
 
     def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
         raise NotImplementedError
+
+    def forward_many(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool
+    ) -> tuple[np.ndarray, bool]:
+        raise NotImplementedError(
+            f"{type(self).__name__} has no fused multi-model kernel"
+        )
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -45,10 +75,33 @@ class Sequential(Layer):
     def __init__(self, layers: list[Layer]):
         self.layers = list(layers)
 
+    @property
+    def fused_eval(self) -> bool:  # type: ignore[override]
+        """True when every layer has a fused multi-model kernel."""
+        return all(layer.fused_eval for layer in self.layers)
+
     def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x, train=train)
         return x
+
+    def forward_many(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool = False
+    ) -> tuple[np.ndarray, bool]:
+        """Evaluate ``k`` models' stacks in one pass through the stack.
+
+        ``params`` is the batched form of :meth:`parameters` — one
+        ``(k, *shape)`` array per parameter, in parameter order — and is
+        sliced per layer exactly as :meth:`parameters` concatenates.
+        """
+        index = 0
+        for layer in self.layers:
+            count = len(layer.parameters())
+            x, batched = layer.forward_many(
+                x, params[index : index + count], batched=batched
+            )
+            index += count
+        return x, batched
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):

@@ -116,6 +116,26 @@ class FlatSpec:
             self.flatten(ws, out=row)
         return matrix
 
+    def unflatten_many(self, matrix: np.ndarray) -> list[np.ndarray]:
+        """Per-parameter stacks of a ``(k, total)`` matrix of flat rows.
+
+        Returns one ``(k, *shape)`` array per parameter — the batched
+        form the fused multi-model forward pass consumes.  Each stack is
+        a **view** into ``matrix`` (splitting a row's contiguous
+        parameter block never copies), so slicing k models out of a
+        weight arena and evaluating them costs no weight copies at all.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] != self.total:
+            raise ValueError(
+                f"expected a (k, {self.total}) matrix, got shape {matrix.shape}"
+            )
+        k = matrix.shape[0]
+        return [
+            matrix[:, offset : offset + size].reshape((k, *shape))
+            for offset, size, shape in zip(self.offsets, self.sizes, self.shapes)
+        ]
+
     # ------------------------------------------------------------- dunder
     def __eq__(self, other: object) -> bool:
         return isinstance(other, FlatSpec) and self.shapes == other.shapes

@@ -77,7 +77,11 @@ def build_selector(
     evaluation.  The accuracy selector is wired to the client's *batched*
     cached evaluation (:meth:`~repro.fl.client.Client.tx_accuracies`), the
     contract :class:`~repro.dag.tip_selection.AccuracyTipSelector`
-    documents.
+    documents — which routes each walk step's cache misses through the
+    fused multi-model forward pass
+    (:meth:`~repro.nn.model.Classifier.accuracy_many`) whenever the
+    model's layers support it.  Both simulators (round-based and async)
+    and every executor therefore share one evaluation plane.
     """
     if config.selector == "random":
         return RandomTipSelector()

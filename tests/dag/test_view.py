@@ -78,3 +78,65 @@ def test_view_works_with_selectors(tangle, rng):
     view = TangleView(tangle, 0)
     tips = RandomTipSelector().select_tips(view, 2, rng)
     assert set(tips) <= {"r0a", "r0b"}
+
+
+def _naive_tips(view):
+    """The historical quadratic formulation: per-transaction ``approvers``
+    calls, each re-validating visibility through the view's ``get``."""
+    return sorted(
+        tx.tx_id for tx in view.transactions() if not view.approvers(tx.tx_id)
+    )
+
+
+def test_one_pass_tips_equal_naive_on_random_dags(rng):
+    """The single filtered pass must agree with the naive per-transaction
+    formulation on every visibility bound of randomized DAGs."""
+    for trial in range(5):
+        dag_rng = np.random.default_rng(100 + trial)
+        tangle = Tangle(w())
+        ids = [GENESIS_ID]
+        for i in range(40):
+            k = int(dag_rng.integers(1, 3))
+            parents = tuple(
+                dict.fromkeys(
+                    ids[int(dag_rng.integers(0, len(ids)))] for _ in range(k)
+                )
+            )
+            round_index = i // 5
+            tangle.add(Transaction(f"t{i}", parents, w(), i % 4, round_index))
+            ids.append(f"t{i}")
+        for max_round in range(-1, 9):
+            view = TangleView(tangle, max_round)
+            assert view.tips() == _naive_tips(view)
+
+
+def test_one_pass_tips_equal_naive_on_timed_views(rng):
+    """Same pin for the async simulator's delay-bounded view, with and
+    without an observer exemption."""
+    from repro.fl.async_learning import TimedTangleView
+
+    dag_rng = np.random.default_rng(7)
+    tangle = Tangle(w())
+    ids = [GENESIS_ID]
+    visible_from = {GENESIS_ID: 0.0}
+    published_at = {GENESIS_ID: 0.0}
+    for i in range(30):
+        parents = tuple(
+            dict.fromkeys(
+                ids[int(dag_rng.integers(0, len(ids)))] for _ in range(2)
+            )
+        )
+        tangle.add(Transaction(f"t{i}", parents, w(), i % 3, i))
+        ids.append(f"t{i}")
+        published_at[f"t{i}"] = float(i)
+        visible_from[f"t{i}"] = float(i) + float(dag_rng.exponential(4.0))
+    for now in [0.0, 5.0, 13.5, 40.0, 1e9]:
+        for observer in [None, 0, 1]:
+            view = TimedTangleView(
+                tangle,
+                visible_from,
+                now,
+                observer=observer,
+                published_at=published_at,
+            )
+            assert view.tips() == _naive_tips(view)

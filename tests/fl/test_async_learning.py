@@ -47,8 +47,10 @@ def test_published_transactions_enter_tangle(async_sim):
 def test_propagation_delay_hides_fresh_transactions(
     tiny_fmnist, mlp_builder, fast_train_config
 ):
-    """With a huge propagation delay, nothing but genesis is ever visible,
-    so every transaction approves only genesis."""
+    """With a huge propagation delay, no client ever sees another
+    client's transactions: every approved parent is either genesis or an
+    earlier transaction of the *same* issuer (a client's own
+    publications are local state, exempt from network delay)."""
     sim = AsyncTangleLearning(
         tiny_fmnist, mlp_builder, fast_train_config,
         DagConfig(alpha=10.0, depth_range=(2, 5)),
@@ -59,7 +61,98 @@ def test_propagation_delay_hides_fresh_transactions(
     for tx in sim.tangle.transactions():
         if tx.is_genesis:
             continue
-        assert tx.parents == ("genesis",)
+        for parent in tx.parents:
+            parent_tx = sim.tangle.get(parent)
+            assert parent_tx.is_genesis or parent_tx.issuer == tx.issuer
+
+
+def test_issuer_sees_own_transactions_immediately(
+    tiny_fmnist, mlp_builder, fast_train_config
+):
+    """Self-visibility regression (fails on the pre-fix code): even when
+    the network propagation delay hides a publication from everyone
+    else, the publishing client's own subsequent walks must see it — a
+    real client's local tangle always contains its own publications.
+    With an effectively infinite delay, clients that publish repeatedly
+    therefore chain onto their own transactions instead of re-approving
+    genesis forever."""
+    sim = AsyncTangleLearning(
+        tiny_fmnist, mlp_builder, fast_train_config,
+        DagConfig(alpha=10.0, depth_range=(2, 5), publish_gate=False),
+        seed=0,
+        mean_propagation_delay=1e9,
+    )
+    events = sim.run_cycles(30)
+    published_per_client: dict[int, int] = {}
+    for event in events:
+        if event.published:
+            published_per_client[event.client_id] = (
+                published_per_client.get(event.client_id, 0) + 1
+            )
+    assert max(published_per_client.values()) >= 2  # workload sanity
+    own_chained = [
+        tx
+        for tx in sim.tangle.transactions()
+        if not tx.is_genesis
+        and any(
+            sim.tangle.get(p).issuer == tx.issuer
+            for p in tx.parents
+            if p != "genesis"
+        )
+    ]
+    assert own_chained, (
+        "no client ever approved its own earlier transaction — the "
+        "global propagation delay is hiding publishers' own transactions "
+        "from their own walks"
+    )
+
+
+def test_issuer_exemption_does_not_leak_to_other_clients(rng):
+    """The exemption is per-observer: another client's view still honors
+    the network delay, and the issuer's view does not show unpublished
+    ids."""
+    from repro.dag.tangle import Tangle
+    from repro.dag.transaction import GENESIS_ID, Transaction
+
+    tangle = Tangle([np.zeros(1)])
+    tangle.add(Transaction("a", (GENESIS_ID,), [np.zeros(1)], issuer=3, round_index=0))
+    visible_from = {GENESIS_ID: 0.0, "a": 50.0}  # published at 1.0, delay 49
+    published_at = {GENESIS_ID: 0.0, "a": 1.0}
+    issuer_view = TimedTangleView(
+        tangle, visible_from, now=2.0, observer=3, published_at=published_at
+    )
+    other_view = TimedTangleView(
+        tangle, visible_from, now=2.0, observer=4, published_at=published_at
+    )
+    assert "a" in issuer_view
+    assert issuer_view.tips() == ["a"]
+    assert "a" not in other_view
+    assert other_view.tips() == [GENESIS_ID]
+    # Before its publication time, not even the issuer sees it.
+    early_view = TimedTangleView(
+        tangle, visible_from, now=0.5, observer=3, published_at=published_at
+    )
+    assert "a" not in early_view
+
+
+def test_async_published_transactions_are_arena_bound(async_sim):
+    """Async publications take the flat plane: every published
+    transaction is interned as an arena row with the tangle's dtype
+    policy (float64 default), same as round-simulator publications."""
+    events = async_sim.run_cycles(15)
+    published = [e for e in events if e.published]
+    assert published
+    arena = async_sim.tangle.arena
+    assert arena.dtype == np.dtype(np.float64)
+    for event in published:
+        tx = async_sim.tangle.get(event.tx_id)
+        assert tx.arena_bound
+        location = tx.arena_location()
+        assert location is not None and location[0] is arena
+        flat = tx.flat_vector(async_sim.tangle.spec)
+        assert flat.dtype == arena.dtype
+    # One arena row per transaction, nothing bypassed the arena.
+    assert len(arena) == len(async_sim.tangle)
 
 
 def test_zero_delay_allows_chaining(tiny_fmnist, mlp_builder, fast_train_config):

@@ -88,3 +88,123 @@ def test_different_transactions_evaluated_separately(client, rng):
     b = client.tx_accuracy(tangle, "t1")
     assert client.evaluations >= 2
     assert isinstance(a, float) and isinstance(b, float)
+
+
+# ----------------------------------------------------- fused walk evaluation
+def _grown_tangle(client, n=6, seed=0):
+    tangle = Tangle(client.model.get_weights())
+    rng = np.random.default_rng(seed)
+    ids = [GENESIS_ID]
+    for i in range(n):
+        perturbed = [
+            w + rng.normal(0.0, 0.1, size=w.shape)
+            for w in client.model.get_weights()
+        ]
+        tangle.add(Transaction(f"t{i}", (ids[-1],), perturbed, i % 3, i))
+        ids.append(f"t{i}")
+    return tangle, ids
+
+
+def _sequential_reference(client, tangle, tx_ids):
+    """tx_accuracy per id on a fresh cache — the pre-fusion semantics."""
+    return np.array(
+        [client.tx_accuracy(tangle, tx_id) for tx_id in tx_ids], dtype=np.float64
+    )
+
+
+def test_tx_accuracies_fused_matches_sequential_loop(client):
+    tangle, ids = _grown_tangle(client)
+    assert client.model.supports_fused_eval
+    batched = client.tx_accuracies(tangle, ids)
+    client.reset_cache()
+    np.testing.assert_array_equal(
+        batched, _sequential_reference(client, tangle, ids)
+    )
+
+
+def test_tx_accuracies_k1_and_duplicates(client):
+    tangle, ids = _grown_tangle(client)
+    single = client.tx_accuracies(tangle, [ids[1]])
+    assert single.shape == (1,)
+    assert client.evaluations == 1  # one fused evaluation for K=1
+    repeated = client.tx_accuracies(tangle, [ids[2], ids[1], ids[2], ids[2]])
+    assert client.evaluations == 2  # duplicates deduplicated, ids[1] cached
+    assert repeated[0] == repeated[2] == repeated[3]
+    assert repeated[1] == single[0]
+
+
+def test_tx_accuracies_all_cached_step_touches_nothing(client):
+    tangle, ids = _grown_tangle(client)
+    first = client.tx_accuracies(tangle, ids)
+    count = client.evaluations
+    again = client.tx_accuracies(tangle, ids)
+    assert client.evaluations == count  # pure dictionary lookups
+    np.testing.assert_array_equal(first, again)
+
+
+def test_tx_accuracies_empty_step(client):
+    tangle, _ = _grown_tangle(client, n=1)
+    out = client.tx_accuracies(tangle, [])
+    assert out.shape == (0,)
+    assert client.evaluations == 0
+
+
+def test_tx_accuracies_mixed_cached_uncached(client):
+    tangle, ids = _grown_tangle(client)
+    warm = client.tx_accuracies(tangle, ids[:3])
+    count = client.evaluations
+    mixed = client.tx_accuracies(tangle, ids)
+    assert client.evaluations == count + len(ids) - 3
+    np.testing.assert_array_equal(mixed[:3], warm)
+    client.reset_cache()
+    np.testing.assert_array_equal(
+        mixed, _sequential_reference(client, tangle, ids)
+    )
+
+
+def test_tx_accuracies_fused_populates_cache_for_tx_accuracy(client):
+    tangle, ids = _grown_tangle(client)
+    batched = client.tx_accuracies(tangle, ids)
+    count = client.evaluations
+    for tx_id, expected in zip(ids, batched):
+        assert client.tx_accuracy(tangle, tx_id) == expected
+    assert client.evaluations == count
+
+
+def test_tx_accuracies_unfused_model_falls_back(tiny_fmnist):
+    """A conv model has no fused kernels; the batched entry point must
+    route through the per-model loop with identical results."""
+    model = zoo.build_fmnist_cnn(
+        np.random.default_rng(0), image_size=10, size="small"
+    )
+    assert not model.supports_fused_eval
+    data = tiny_fmnist.clients[0]
+    # Conv models consume (N, C, H, W); reshape the flat client data.
+    x = data.x_test.reshape(-1, 1, 10, 10)
+
+    class ConvData:
+        client_id = data.client_id
+        x_train = data.x_train.reshape(-1, 1, 10, 10)
+        y_train = data.y_train
+        x_test = x
+        y_test = data.y_test
+        metadata = data.metadata
+
+    config = TrainingConfig(local_epochs=1, local_batches=2, batch_size=8)
+    client = Client(ConvData(), model, config, rng=1)
+    tangle, ids = _grown_tangle(client, n=3)
+    batched = client.tx_accuracies(tangle, ids)
+    client.reset_cache()
+    np.testing.assert_array_equal(
+        batched, _sequential_reference(client, tangle, ids)
+    )
+
+
+def test_tx_accuracies_personalization_falls_back(client):
+    tangle, ids = _grown_tangle(client)
+    client.enable_personalization(2, client.model.get_weights())
+    batched = client.tx_accuracies(tangle, ids)
+    client.reset_cache()
+    np.testing.assert_array_equal(
+        batched, _sequential_reference(client, tangle, ids)
+    )

@@ -64,6 +64,21 @@ def test_unflatten_returns_views(shape_list, seed):
         assert np.shares_memory(view, flat)
 
 
+@given(shapes, st.integers(1, 4), st.integers(0, 2**32 - 1))
+def test_unflatten_many_is_rowwise_unflatten_and_zero_copy(shape_list, k, seed):
+    spec = FlatSpec(tuple(shape_list))
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(k, spec.total))
+    stacks = spec.unflatten_many(matrix)
+    assert len(stacks) == len(spec)
+    for stack, shape in zip(stacks, spec.shapes):
+        assert stack.shape == (k, *shape)
+        assert np.shares_memory(stack, matrix)
+    for row_index in range(k):
+        for stack, single in zip(stacks, spec.unflatten(matrix[row_index])):
+            np.testing.assert_array_equal(stack[row_index], single)
+
+
 @given(shapes, st.integers(0, 2**32 - 1))
 def test_flatten_into_preallocated_row(shape_list, seed):
     weights = weights_for(shape_list, np.float64, seed)
