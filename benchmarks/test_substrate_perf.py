@@ -146,10 +146,9 @@ def test_weight_index_speedup_on_walk_workload():
 
 
 def _available_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # platform without affinity masks
-        return os.cpu_count() or 1
+    from repro.substrate import available_cores
+
+    return available_cores()
 
 
 def _run_workload(dataset, builder, train_config, *, rounds, clients_per_round, parallelism):
@@ -167,9 +166,13 @@ def _run_workload(dataset, builder, train_config, *, rounds, clients_per_round, 
         start = time.perf_counter()
         sim.run(rounds)
         elapsed = time.perf_counter() - start
+        executor_info = {
+            "workers": sim.executor.parallelism,
+            "mode_counts": dict(getattr(sim.executor, "mode_counts", {})) or None,
+        }
     finally:
         sim.close()
-    return elapsed, sim.history
+    return elapsed, sim.history, executor_info
 
 
 def test_round_throughput_serial_vs_parallel_emits_json():
@@ -227,15 +230,21 @@ def test_round_throughput_serial_vs_parallel_emits_json():
         rounds = wl["rounds"]
         times = {}
         histories = {}
-        for parallelism in (1, 2):
-            times[parallelism], histories[parallelism] = _run_workload(
-                dataset, builder, train_config,
-                rounds=rounds, clients_per_round=6, parallelism=parallelism,
+        infos = {}
+        for parallelism in (1, 2, "auto"):
+            times[parallelism], histories[parallelism], infos[parallelism] = (
+                _run_workload(
+                    dataset, builder, train_config,
+                    rounds=rounds, clients_per_round=6, parallelism=parallelism,
+                )
             )
-        for a, b in zip(histories[1], histories[2]):  # equivalence at bench scale
-            assert a.client_accuracy == b.client_accuracy
-            assert a.published == b.published
+        # equivalence at bench scale, across all three routings
+        for other in (2, "auto"):
+            for a, b in zip(histories[1], histories[other]):
+                assert a.client_accuracy == b.client_accuracy
+                assert a.published == b.published
         speedup = times[1] / times[2]
+        auto_modes = infos["auto"]["mode_counts"]
         entry = {
             "workload": wl["describe"],
             "rounds": rounds,
@@ -244,6 +253,15 @@ def test_round_throughput_serial_vs_parallel_emits_json():
             "serial_rounds_per_sec": rounds / times[1],
             "parallel_rounds_per_sec": rounds / times[2],
             "parallel_speedup": speedup,
+            # parallelism="auto": which mode it actually routed each round
+            # to, and whether that choice beat the forced-parallel run.
+            "auto_seconds": times["auto"],
+            "auto_mode_counts": auto_modes,
+            "auto_workers": infos["auto"]["workers"],
+            "auto_picked": (
+                "serial" if auto_modes.get("parallel", 0) == 0 else "parallel"
+            ),
+            "auto_speedup_vs_serial": times[1] / times["auto"],
         }
         if wl["assert_speedup"]:
             entry["speedup_asserted"] = cores >= 2
@@ -251,6 +269,16 @@ def test_round_throughput_serial_vs_parallel_emits_json():
         else:
             entry["note"] = wl["note"]
         payload["workloads"][name] = entry
+        # The regression this knob fixes: on a single-core machine (or a
+        # round plan too small to amortize coordination) auto must not
+        # route to the process pool and must therefore not reproduce the
+        # recorded parallel slowdown (0.80x large / 0.35x small).
+        if cores < 2:
+            assert auto_modes.get("parallel", 0) == 0
+            assert times["auto"] <= times[2] * 1.10, (
+                f"auto ({times['auto']:.3f}s) should avoid the parallel "
+                f"penalty ({times[2]:.3f}s) on a single-core machine"
+            )
 
     out = Path(
         os.environ.get(

@@ -1,0 +1,331 @@
+"""Lockstep walk-engine benchmarks: frontier-batched tip selection.
+
+PR 3 fused a single walk *step*'s candidate evaluations; the engine
+(`repro.dag.walk_engine`) batches across a whole selection: every
+particle advances in lockstep supersteps over a per-epoch CSR snapshot,
+scores come from a NaN-sentinel memo prefilled from the client cache,
+and each particle's next node is drawn by row-wise Gumbel-max — no
+per-step Python dict walking, no ``rng.choice``.
+
+Enforced floors, recorded to ``BENCH_walk_engine.json`` for CI:
+
+- **Kernel**: a full ``select_tips(count=5)`` on the simulation-profile
+  MLP tangle (mlp-100-16-10 models, round-grown DAG: 16 rounds x 8
+  publications — the simulator's shape) must be >= 3x faster than the
+  sequential per-particle walker in the steady-state regime (client
+  cache warm, snapshot cached for the epoch).  The two walkers draw
+  from the *same tip distribution* (asserted by total-variation
+  distance over thousands of walks; the per-superstep transition law is
+  pinned analytically in ``tests/property/test_properties_walk_engine.py``).
+- **End-to-end**: a walk-heavy ``TangleLearning`` run (tiny local
+  training, 10 clients/round) must not lose round throughput with the
+  engine on, and the summed per-round walk time must improve.
+
+Also recorded (no floor): a shallow and a deep tangle shape, and the
+cold-cache variant (first-contact selections, where model evaluation
+dominates both paths).  Timings are best-of-N so a noisy-neighbor stall
+on a shared CI runner cannot flake the comparison.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dag.tangle import Tangle
+from repro.dag.tip_selection import AccuracyTipSelector
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.dag.walk_engine import clear_snapshot_cache
+from repro.fl import Client, DagConfig, TangleLearning, TrainingConfig
+from repro.nn import zoo
+
+KERNEL_FLOOR = 3.0
+COUNT = 5  # particles per selection
+SELECTIONS = 20  # selections per timed batch
+DISTRIBUTION_SELECTIONS = 300  # per walker, for the distribution assert
+TV_LIMIT = 0.15
+
+_RESULTS: dict = {}
+
+
+class _Data:
+    client_id = 0
+    metadata: dict = {}
+
+    def __init__(self, rng):
+        self.x_train = rng.normal(size=(16, 100))
+        self.y_train = rng.integers(0, 10, size=16)
+        self.x_test = rng.normal(size=(8, 100))
+        self.y_test = rng.integers(0, 10, size=8)
+
+
+def _best_of(fn, repeats=7):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _round_grown_tangle(model, rounds, per_round, sigma=0.05, seed=2):
+    """A DAG with the simulator's shape: ``per_round`` publications per
+    round, each approving two tips of the previous round's view — width
+    ~per_round, depth ~rounds (uniform-parent growth is much shallower
+    than anything the simulators produce)."""
+    genesis = model.get_weights()
+    tangle = Tangle([w.copy() for w in genesis])
+    rng = np.random.default_rng(seed)
+    ids = [GENESIS_ID]
+    for round_index in range(rounds):
+        tips = tangle.tips()
+        batch = []
+        for client in range(per_round):
+            parents = tuple(
+                dict.fromkeys(
+                    tips[int(rng.integers(0, len(tips)))] for _ in range(2)
+                )
+            )
+            perturbed = [w + rng.normal(0.0, sigma, size=w.shape) for w in genesis]
+            batch.append(
+                Transaction(
+                    f"r{round_index}c{client}", parents, perturbed, client, round_index
+                )
+            )
+        for tx in batch:  # barrier: the round's view excluded these
+            tangle.add(tx)
+            ids.append(tx.tx_id)
+    return tangle, ids
+
+
+def _selectors(client, tangle):
+    def make(engine):
+        return AccuracyTipSelector(
+            batch_accuracy_fn=lambda tx_ids: client.tx_accuracies(tangle, tx_ids),
+            alpha=10.0,
+            depth_range=(15, 25),
+            engine=engine,
+            score_cache_fn=client.tx_accuracy_cache,
+            cache_epoch_fn=lambda: client.cache_epoch,
+        )
+
+    return make(False), make(True)
+
+
+def _tip_distribution(tips):
+    counts: dict = {}
+    for tip in tips:
+        counts[tip] = counts.get(tip, 0) + 1
+    return {tip: c / len(tips) for tip, c in counts.items()}
+
+
+def _total_variation(p, q):
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in set(p) | set(q))
+
+
+def _measure_selection(rounds, per_round):
+    """(sequential_s, engine_s, tv) per SELECTIONS-batch on a warm client."""
+    model = zoo.build_mlp(
+        np.random.default_rng(0), in_features=100, hidden=(16,), num_classes=10
+    )
+    tangle, ids = _round_grown_tangle(model, rounds, per_round)
+    client = Client(_Data(np.random.default_rng(4)), model, TrainingConfig(), rng=1)
+    client.tx_accuracies(tangle, ids)  # steady state: cache fully warm
+    sequential, engine = _selectors(client, tangle)
+    clear_snapshot_cache()
+    engine.select_tips(tangle, COUNT, np.random.default_rng(0))  # epoch snapshot
+
+    def run(selector, seed, selections=SELECTIONS):
+        rng = np.random.default_rng(seed)
+        tips = []
+        for _ in range(selections):
+            tips.extend(selector.select_tips(tangle, COUNT, rng))
+        return tips
+
+    sequential_s, _ = _best_of(lambda: run(sequential, 3))
+    engine_s, _ = _best_of(lambda: run(engine, 3))
+    tv = _total_variation(
+        _tip_distribution(run(sequential, 11, DISTRIBUTION_SELECTIONS)),
+        _tip_distribution(run(engine, 12, DISTRIBUTION_SELECTIONS)),
+    )
+    return sequential_s, engine_s, tv, tangle
+
+
+# ----------------------------------------------------------------- kernel
+def test_lockstep_selection_speedup_and_distribution():
+    """The enforced kernel floor: select_tips(count=5), warm client, on
+    the 16x8 round-grown simulation-profile MLP tangle."""
+    sequential_s, engine_s, tv, tangle = _measure_selection(16, 8)
+    speedup = sequential_s / engine_s
+    _RESULTS["lockstep_selection"] = {
+        "workload": f"select_tips(count={COUNT}) x {SELECTIONS}, "
+        f"mlp-100-16-10 models, round-grown tangle 16x8 ({len(tangle)} txs), "
+        "warm cache + epoch snapshot",
+        "sequential_ms": sequential_s / SELECTIONS * 1e3,
+        "engine_ms": engine_s / SELECTIONS * 1e3,
+        "speedup": speedup,
+        "floor": KERNEL_FLOOR,
+        "tip_distribution_tv": tv,
+        "tv_limit": TV_LIMIT,
+    }
+    assert tv < TV_LIMIT, f"engine tip distribution diverged (TV={tv:.3f})"
+    assert speedup >= KERNEL_FLOOR, (
+        f"lockstep selection only {speedup:.2f}x over the sequential "
+        f"walker (floor {KERNEL_FLOOR}x)"
+    )
+
+
+def test_tangle_shape_sweep_recorded():
+    """Shallow (young simulation) and deep (long simulation) shapes,
+    recorded without floors — the trajectory should show where the
+    frontier batching wins most."""
+    for key, rounds, per_round in (("shallow_10x6", 10, 6), ("deep_30x8", 30, 8)):
+        sequential_s, engine_s, tv, tangle = _measure_selection(rounds, per_round)
+        _RESULTS[key] = {
+            "workload": f"select_tips(count={COUNT}) x {SELECTIONS}, "
+            f"round-grown tangle {rounds}x{per_round} ({len(tangle)} txs)",
+            "sequential_ms": sequential_s / SELECTIONS * 1e3,
+            "engine_ms": engine_s / SELECTIONS * 1e3,
+            "speedup": sequential_s / engine_s,
+            "tip_distribution_tv": tv,
+        }
+        assert tv < TV_LIMIT
+
+
+def test_cold_cache_selection_recorded():
+    """First-contact regime: the client has evaluated nothing, so model
+    evaluation dominates both walkers.  The engine still batches wider
+    (union frontiers) but the win honestly shrinks — recorded, no
+    floor."""
+    model = zoo.build_mlp(
+        np.random.default_rng(0), in_features=100, hidden=(16,), num_classes=10
+    )
+    tangle, _ = _round_grown_tangle(model, 16, 8)
+    client = Client(_Data(np.random.default_rng(4)), model, TrainingConfig(), rng=1)
+    clear_snapshot_cache()
+
+    def run(engine_mode, seed):
+        rng = np.random.default_rng(seed)
+        tips = []
+        for _ in range(5):
+            # fresh cache AND fresh selector: the engine's epoch memo
+            # must not carry scores past the reset
+            client.reset_cache()
+            selector = _selectors(client, tangle)[1 if engine_mode else 0]
+            tips.extend(selector.select_tips(tangle, COUNT, rng))
+        return tips
+
+    sequential_s, _ = _best_of(lambda: run(False, 3), repeats=3)
+    engine_s, _ = _best_of(lambda: run(True, 3), repeats=3)
+    _RESULTS["cold_cache"] = {
+        "workload": f"select_tips(count={COUNT}) x 5, cache cleared per "
+        "selection (every candidate evaluated)",
+        "sequential_ms": sequential_s / 5 * 1e3,
+        "engine_ms": engine_s / 5 * 1e3,
+        "speedup": sequential_s / engine_s,
+        "note": "no floor: model evaluation dominates both walkers here",
+    }
+
+
+# ------------------------------------------------------------- end-to-end
+def test_end_to_end_round_throughput():
+    """Full simulator rounds, walk-heavy profile: with the engine on,
+    round throughput must not lose to the PR 3 sequential baseline and
+    the walk-plane time (the engine's deliverable) must improve."""
+    from repro.data import make_fmnist_clustered
+
+    dataset = make_fmnist_clustered(
+        num_clients=10, samples_per_client=24, image_size=10, seed=3
+    )
+    builder = lambda rng: zoo.build_mlp(
+        rng, in_features=100, hidden=(16,), num_classes=10
+    )
+    train_config = TrainingConfig(
+        local_epochs=1, local_batches=1, batch_size=8, learning_rate=0.1
+    )
+
+    def run(engine, rounds, num_tips):
+        best, walk_time, history = float("inf"), None, None
+        for _ in range(3):
+            simulation = TangleLearning(
+                dataset,
+                builder,
+                train_config,
+                DagConfig(alpha=10.0, num_tips=num_tips, walk_engine=engine),
+                clients_per_round=10,
+                seed=0,
+            )
+            start = time.perf_counter()
+            simulation.run(rounds)
+            elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best = elapsed
+                walk_time = sum(
+                    sum(r.walk_duration.values()) for r in simulation.history
+                )
+                history = simulation.history
+            simulation.close()
+        return best, walk_time, history
+
+    # (key, num_tips, rounds, throughput floor): the paper's 2-tip
+    # protocol must at least break even (measured ~1.1x); the 5-tip
+    # robust-aggregation variant, where a selection carries 5 particles,
+    # must win clearly.
+    for key, num_tips, rounds, floor in (
+        ("end_to_end_2tip", 2, 34, 1.0),
+        ("end_to_end_5tip", 5, 30, 1.2),
+    ):
+        baseline_s, baseline_walk_s, baseline_history = run(False, rounds, num_tips)
+        engine_s, engine_walk_s, engine_history = run(True, rounds, num_tips)
+        throughput_speedup = baseline_s / engine_s
+        walk_speedup = baseline_walk_s / engine_walk_s
+        # learning dynamics must be intact under the engine (individual
+        # draws differ per the rng discipline, the qualitative run not):
+        # the accuracy trend of the run's second half must not collapse
+        # below its first half on either walker
+        def halves(history):
+            mid = len(history) // 2
+            first = float(np.mean([r.mean_accuracy for r in history[:mid]]))
+            second = float(np.mean([r.mean_accuracy for r in history[mid:]]))
+            return first, second
+
+        for history in (engine_history, baseline_history):
+            first, second = halves(history)
+            assert second >= first - 0.02, (first, second)
+        _RESULTS[key] = {
+            "workload": f"{rounds} rounds x 10 clients, num_tips={num_tips}, "
+            "fmnist-clustered mlp-100-16-10, 1 local batch (walk-heavy profile)",
+            "baseline_seconds": baseline_s,
+            "engine_seconds": engine_s,
+            "baseline_rounds_per_sec": rounds / baseline_s,
+            "engine_rounds_per_sec": rounds / engine_s,
+            "round_throughput_speedup": throughput_speedup,
+            "throughput_floor": floor,
+            "baseline_walk_seconds": baseline_walk_s,
+            "engine_walk_seconds": engine_walk_s,
+            "walk_time_speedup": walk_speedup,
+        }
+        assert walk_speedup >= 1.0, (
+            f"engine walk plane lost time end-to-end ({key}): {walk_speedup:.2f}x"
+        )
+        assert throughput_speedup >= floor, (
+            f"engine round throughput {throughput_speedup:.2f}x under the "
+            f"{floor}x floor ({key})"
+        )
+
+
+def test_zzz_emit_bench_walk_engine_json():
+    """Write the trajectory file CI uploads (runs after the measurements;
+    the zzz prefix keeps pytest's in-file ordering explicit)."""
+    assert "lockstep_selection" in _RESULTS
+    assert "end_to_end_2tip" in _RESULTS
+    out = Path(
+        os.environ.get(
+            "BENCH_WALK_ENGINE_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_walk_engine.json",
+        )
+    )
+    out.write_text(json.dumps(_RESULTS, indent=2) + "\n")
+    assert out.exists()

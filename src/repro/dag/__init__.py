@@ -14,6 +14,12 @@ from repro.dag.view import TangleView
 from repro.dag.persistence import save_tangle, load_tangle
 from repro.dag.export import tangle_statistics, to_dot, to_networkx
 from repro.dag.random_walk import random_walk, sample_walk_start
+from repro.dag.walk_engine import (
+    TangleSnapshot,
+    batched_walk_starts,
+    lockstep_walks,
+    snapshot_for,
+)
 from repro.dag.tip_selection import (
     AccuracyTipSelector,
     RandomTipSelector,
@@ -37,6 +43,10 @@ __all__ = [
     "to_networkx",
     "random_walk",
     "sample_walk_start",
+    "TangleSnapshot",
+    "snapshot_for",
+    "batched_walk_starts",
+    "lockstep_walks",
     "TipSelector",
     "RandomTipSelector",
     "WeightedTipSelector",

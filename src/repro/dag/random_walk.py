@@ -41,8 +41,13 @@ def sample_walk_start(
     current = tips[int(rng.integers(0, len(tips)))]
     depth = int(rng.integers(low, high + 1))
     for _ in range(depth):
-        parents = tangle.get(current).parents
-        if not parents:  # reached genesis
+        # Only descend visible edges: on a delay-bounded view a
+        # transaction can be visible before one of its parents (the
+        # issuer exemption makes this reachable in the async
+        # simulator), and stepping to an invisible parent would blow up
+        # on the next get().  On a raw tangle every parent passes.
+        parents = [p for p in tangle.get(current).parents if p in tangle]
+        if not parents:  # reached genesis (or only invisible parents)
             break
         current = parents[int(rng.integers(0, len(parents)))]
     return current

@@ -231,6 +231,26 @@ class Tangle:
             self._rebuild_weight_index()
         return self._weights[tx_id]
 
+    def cumulative_weights(self, tx_ids) -> np.ndarray:
+        """Batched :meth:`cumulative_weight`: one query for many ids.
+
+        The weighted walk's per-step path — a step's whole approver
+        list is answered with a single call against the incremental
+        index (one float64 array out, no per-id method dispatch or
+        re-validation).  Raises ``KeyError`` on unknown ids.
+        """
+        if self._weights_dirty:
+            self._rebuild_weight_index()
+        weights = self._weights
+        try:
+            return np.fromiter(
+                (weights[tx_id] for tx_id in tx_ids),
+                dtype=np.float64,
+                count=len(tx_ids),
+            )
+        except KeyError as exc:
+            raise KeyError(f"unknown transaction {exc.args[0]!r}") from None
+
     def recount_cumulative_weight(self, tx_id: str) -> int:
         """Weight via a from-scratch future-cone BFS (the legacy path).
 

@@ -113,26 +113,71 @@ class WeightedTipSelector:
 
     Transition weights are ``exp(alpha * (w - max(w)))`` over the
     approvers' cumulative weights, the Markov-chain Monte Carlo rule of
-    Popov's tangle.  Weight queries hit the tangle's incremental index
-    (O(1) per approver), so a walk is linear in its length rather than
-    quadratic in tangle size.
+    Popov's tangle.  Weight queries hit the tangle's incremental index —
+    fetched for a whole step's approvers in **one** batched
+    ``cumulative_weights`` query where the store provides it — so a walk
+    is linear in its length rather than quadratic in tangle size.
+
+    ``engine=True`` runs all ``count`` walks in lockstep over a CSR
+    snapshot of the visible tangle (:mod:`repro.dag.walk_engine`), with
+    cumulative weights read from the snapshot's vectorized array —
+    distribution-identical to the sequential walk, deterministic for a
+    fixed seed, but consuming the generator in different blocks.
     """
 
-    def __init__(self, alpha: float = 0.5, *, depth_range: tuple[int, int] = (15, 25)):
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        *,
+        depth_range: tuple[int, int] = (15, 25),
+        engine: bool = False,
+    ):
         if alpha < 0:
             raise ValueError("alpha must be >= 0")
         self.alpha = alpha
         self.depth_range = depth_range
+        self.engine = engine
+
+    def _select_tips_engine(
+        self, tangle: Tangle, count: int, rng: np.random.Generator
+    ) -> list[str]:
+        from repro.dag import walk_engine
+
+        snapshot = walk_engine.snapshot_for(tangle)
+        # The snapshot's weight array *is* a complete score table: pass
+        # it as the memo so the scoring round-trip never runs.
+        weights = snapshot.cumulative_weights_float()
+        starts = walk_engine.batched_walk_starts(
+            snapshot, count, rng, depth_range=self.depth_range
+        )
+        finals = walk_engine.lockstep_walks(
+            snapshot,
+            starts,
+            lambda nodes: weights[nodes],
+            alpha=self.alpha,
+            normalization="standard",
+            rng=rng,
+            score_memo=weights,
+        )
+        return [snapshot.ids[node] for node in finals]
 
     def select_tips(
         self, tangle: Tangle, count: int, rng: np.random.Generator
     ) -> list[str]:
+        if self.engine:
+            return self._select_tips_engine(tangle, count, rng)
+        batch_weights = getattr(tangle, "cumulative_weights", None)
+
         def transition(
             _node: str, approvers: list[str], step_rng: np.random.Generator
         ) -> str:
-            weights = np.array(
-                [tangle.cumulative_weight(a) for a in approvers], dtype=np.float64
-            )
+            if batch_weights is not None:
+                weights = np.asarray(batch_weights(approvers), dtype=np.float64)
+            else:  # stores without the batched query (e.g. bare mappings)
+                weights = np.array(
+                    [tangle.cumulative_weight(a) for a in approvers],
+                    dtype=np.float64,
+                )
             probs = np.exp(self.alpha * (weights - weights.max()))
             probs /= probs.sum()
             return approvers[int(step_rng.choice(len(approvers), p=probs))]
@@ -167,6 +212,19 @@ class AccuracyTipSelector:
     - ``evaluation_counter`` (optional) is called once per walk step with
       the number of candidates considered — the scalability experiment
       (Figure 15) uses it to account walk cost independently of caching.
+      The lockstep engine preserves this accounting exactly: one call
+      per particle per superstep with that particle's candidate count.
+
+    ``engine=True`` switches :meth:`select_tips` to the lockstep
+    multi-walk engine (:mod:`repro.dag.walk_engine`): all ``count``
+    particles advance in supersteps over a cached CSR snapshot of the
+    visible tangle, and each superstep scores the **union** of the live
+    particles' candidate frontiers with one ``batch_accuracy_fn`` call —
+    wider fused ``accuracy_many`` batches than any single particle's
+    step.  The sequential per-particle walk remains the oracle:
+    distribution-identical (the engine samples by Gumbel-max over the
+    same softmax weights) but not draw-for-draw identical, since the
+    generator is consumed in blocks.
 
     At least one of ``accuracy_fn`` / ``batch_accuracy_fn`` is required;
     both may be supplied (the batch function wins).
@@ -181,6 +239,9 @@ class AccuracyTipSelector:
         normalization: str = "standard",
         depth_range: tuple[int, int] = (15, 25),
         evaluation_counter: Callable[[int], None] | None = None,
+        engine: bool = False,
+        score_cache_fn: Callable[[], dict] | None = None,
+        cache_epoch_fn: Callable[[], int] | None = None,
     ):
         if normalization not in _NORMALIZATIONS:
             raise ValueError(f"unknown normalization {normalization!r}")
@@ -196,6 +257,27 @@ class AccuracyTipSelector:
         self.normalization = normalization
         self.depth_range = depth_range
         self.evaluation_counter = evaluation_counter
+        self.engine = engine
+        # ``score_cache_fn`` (engine mode): returns the caller's
+        # transaction-accuracy cache (tx id -> accuracy), used to
+        # prefill the engine's score memo so supersteps only round-trip
+        # through ``batch_accuracy_fn`` for genuinely unevaluated
+        # models.  :func:`repro.substrate.build_selector` wires it to
+        # :meth:`repro.fl.client.Client.tx_accuracy_cache`.
+        # ``cache_epoch_fn`` reports that cache's generation
+        # (:attr:`Client.cache_epoch`): a bump — reset, wholesale
+        # restore, personalization-tail change — invalidates the memo.
+        self.score_cache_fn = score_cache_fn
+        self.cache_epoch_fn = cache_epoch_fn
+        # Per-snapshot engine score memo (node -> accuracy, NaN =
+        # unknown).  Sound for the lifetime of a snapshot: a
+        # transaction's model never changes and the selector is bound to
+        # one client's accuracy function.  Replaced whenever the walk
+        # runs against a different snapshot (new epoch or view) or the
+        # mirrored cache's epoch changes.
+        self._engine_snapshot = None
+        self._engine_memo: np.ndarray | None = None
+        self._engine_memo_epoch: object = None
 
     def _candidate_accuracies(self, approvers: list[str]) -> np.ndarray:
         if self.batch_accuracy_fn is not None:
@@ -215,9 +297,54 @@ class AccuracyTipSelector:
         )
         return approvers[int(rng.choice(len(approvers), p=probs))]
 
+    def _select_tips_engine(
+        self, tangle: Tangle, count: int, rng: np.random.Generator
+    ) -> list[str]:
+        from repro.dag import walk_engine
+
+        snapshot = walk_engine.snapshot_for(tangle)
+        # Without an epoch probe, freshness of mirrored scores can't be
+        # proven across calls — rebuild the memo every selection (the
+        # sequential path re-asks its accuracy function too).  With the
+        # probe (how build_selector wires clients), the memo persists
+        # until the cache's epoch bumps.
+        epoch = object() if self.cache_epoch_fn is None else self.cache_epoch_fn()
+        if self._engine_snapshot is not snapshot or self._engine_memo_epoch != epoch:
+            self._engine_snapshot = snapshot
+            self._engine_memo_epoch = epoch
+            if self.score_cache_fn is not None and (cache := self.score_cache_fn()):
+                get = cache.get
+                self._engine_memo = np.array(
+                    [get(tx_id, np.nan) for tx_id in snapshot.ids]
+                )
+            else:
+                self._engine_memo = np.full(len(snapshot), np.nan)
+        starts = walk_engine.batched_walk_starts(
+            snapshot, count, rng, depth_range=self.depth_range
+        )
+
+        def score_fn(nodes: np.ndarray) -> np.ndarray:
+            return self._candidate_accuracies(
+                [snapshot.ids[node] for node in nodes]
+            )
+
+        finals = walk_engine.lockstep_walks(
+            snapshot,
+            starts,
+            score_fn,
+            alpha=self.alpha,
+            normalization=self.normalization,
+            rng=rng,
+            evaluation_counter=self.evaluation_counter,
+            score_memo=self._engine_memo,
+        )
+        return [snapshot.ids[node] for node in finals]
+
     def select_tips(
         self, tangle: Tangle, count: int, rng: np.random.Generator
     ) -> list[str]:
+        if self.engine:
+            return self._select_tips_engine(tangle, count, rng)
         selected = []
         for _ in range(count):
             start = sample_walk_start(tangle, rng, depth_range=self.depth_range)

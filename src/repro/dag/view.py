@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro.dag.tangle import Tangle
 from repro.dag.transaction import GENESIS_ID, Transaction
 
@@ -110,6 +112,21 @@ class TangleView:
             seen.add(current)
             queue.extend(self.approvers(current))
         return 1 + len(seen)
+
+    def cumulative_weights(self, tx_ids) -> np.ndarray:
+        """Batched :meth:`cumulative_weight` over ``tx_ids``.
+
+        A fully covering view answers all ids with one query against
+        the tangle's incremental index — every stored transaction is
+        visible at such a bound, and the index query itself raises
+        ``KeyError`` on unknown ids, so no per-id check is needed.
+        Truncated views fall back to the per-id filtered BFS.
+        """
+        if self.max_round >= self._tangle.last_round_index:
+            return self._tangle.cumulative_weights(tx_ids)
+        return np.array(
+            [self.cumulative_weight(tx_id) for tx_id in tx_ids], dtype=np.float64
+        )
 
     def approval_edges(self):
         """Visible (approving, approved) pairs, genesis excluded."""

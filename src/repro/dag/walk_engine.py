@@ -1,0 +1,634 @@
+"""Lockstep multi-walk engine: frontier-batched tip selection.
+
+The sequential walkers (:mod:`repro.dag.random_walk`) advance one
+particle at a time: every step pays a ``tangle.approvers`` list build,
+a per-step accuracy lookup, and a slow ``rng.choice`` — pure Python
+overhead multiplied by ``count`` particles per selection and by every
+active client per round.  This module runs **all particles of a
+selection in lockstep** over an immutable array snapshot of the visible
+tangle:
+
+- :class:`TangleSnapshot` flattens a tangle (or any visibility view)
+  into CSR adjacency over dense int node ids: approver lists, parent
+  lists, the tip set, and (lazily) cumulative weights.  Built once per
+  publish epoch and reused by every walk against the same visible state
+  (:func:`snapshot_for` caches by an append-only fingerprint).
+- :func:`batched_walk_starts` vectorizes the Popov depth descent: all
+  tip draws, all depths, then one gather per descent level.
+- :func:`lockstep_walks` advances every live particle one superstep at
+  a time: the union of all live particles' candidate frontiers is
+  scored in **one** batch call (this is what widens the fused
+  ``Classifier.accuracy_many`` batches beyond a single particle's
+  approver list), candidate scores are normalized segment-wise with the
+  exact arithmetic of :func:`repro.dag.tip_selection.normalize_standard`
+  / ``normalize_dynamic``, and every particle's next node is sampled in
+  one shot by segment-wise **Gumbel-max** over ``alpha * normalized``
+  logits — which draws from precisely the softmax distribution
+  ``exp(alpha * normalized) / sum`` the sequential walker feeds to
+  ``rng.choice``.
+
+RNG discipline: the engine consumes the *same generator* the sequential
+walker would, but draws different variates (uniform blocks for starts,
+one Gumbel block per superstep instead of one ``rng.choice`` per
+particle-step), so individual selections differ for a fixed seed while
+the **distribution** over tips is identical — the property tests pin
+both the per-superstep normalization bit-for-bit and the tip
+distribution statistically.  Runs stay deterministic for a fixed seed,
+and serial/parallel executors stay bit-identical to each other because
+both run the same engine against the same keyed streams.
+
+Edge semantics: the snapshot keeps exactly the edges whose **both**
+endpoints are visible, matching ``view.approvers`` — and matching the
+sequential start sampler, which filters its descent to visible parents
+for the same reason (on a delay-bounded view a transaction can
+propagate before its parent; the issuer exemption makes that reachable
+in the async simulator).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.dag.tangle import Tangle
+from repro.dag.view import TangleView
+
+__all__ = [
+    "TangleSnapshot",
+    "snapshot_for",
+    "clear_snapshot_cache",
+    "batched_walk_starts",
+    "padded_normalize",
+    "lockstep_walks",
+]
+
+ScoreFn = Callable[[np.ndarray], np.ndarray]
+
+
+def _pad_csr(
+    indptr: np.ndarray, indices: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Dense ``(N, max(counts))`` matrix of CSR rows, padded by
+    repeating each row's first entry (0 for empty rows).
+
+    The repeat-first padding keeps every lane a *real* entry, so score
+    lookups on padding lanes stay well-defined; callers mask padding
+    out of every reduction and sample (column draws for parents are
+    ``floor(u * count) < count``; supersteps carry a valid mask).
+    """
+    n = len(counts)
+    width = max(1, int(counts.max(initial=0)))
+    padded = np.zeros((n, width), dtype=np.int64)
+    for node in range(n):
+        row = indices[indptr[node] : indptr[node + 1]]
+        if row.size:
+            padded[node, : row.size] = row
+            padded[node, row.size :] = row[0]
+    return padded
+
+
+def _popcount_rows(masks: np.ndarray) -> np.ndarray:
+    """Per-row set-bit count of a uint64 bitset matrix."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(masks).sum(axis=1, dtype=np.int64)
+    return np.unpackbits(
+        masks.view(np.uint8), axis=1
+    ).sum(axis=1, dtype=np.int64)
+
+
+class TangleSnapshot:
+    """CSR adjacency of a tangle's visible sub-DAG over int node ids.
+
+    Node ids are positions in insertion (topological) order of the
+    visible transactions — parents always have a *smaller* id than the
+    transactions approving them.  ``ids[node]`` recovers the transaction
+    id; ``index[tx_id]`` the node.  The snapshot is immutable: build it
+    from a frozen view and reuse it for every walk of the epoch.
+    """
+
+    def __init__(
+        self,
+        ids: list[str],
+        parent_lists: list[list[int]],
+        approver_lists: list[list[int]],
+    ):
+        self.ids = ids
+        self.index = {tx_id: node for node, tx_id in enumerate(ids)}
+        n = len(ids)
+
+        def to_csr(lists: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+            counts = np.fromiter(
+                (len(l) for l in lists), dtype=np.int64, count=n
+            )
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.fromiter(
+                (i for l in lists for i in l), dtype=np.int64, count=int(indptr[-1])
+            )
+            return indptr, indices
+
+        self.parent_indptr, self.parent_indices = to_csr(parent_lists)
+        self.approver_indptr, self.approver_indices = to_csr(approver_lists)
+        self.parent_counts = np.diff(self.parent_indptr)
+        self.approver_counts = np.diff(self.approver_indptr)
+        self.max_approvers = int(self.approver_counts.max(initial=0))
+        # Shared arange scratch: supersteps slice prefixes instead of
+        # re-allocating one arange per reduction.
+        self._column_range = np.arange(max(1, self.max_approvers))
+        self._parents_padded: np.ndarray | None = None
+        self._approvers_padded: np.ndarray | None = None
+        # Parentless nodes (genesis; plus orphans on views whose parents
+        # are invisible): where depth descents terminate early.
+        self.sink_nodes = np.flatnonzero(self.parent_counts == 0)
+        self._longest_past_path: np.ndarray | None = None
+        # Set by build() when the snapshot covers a whole tangle: a
+        # weakref to that tangle plus its length, so weight queries can
+        # be answered from its incremental index instead of the bitset
+        # pass (valid only while the tangle hasn't grown — new approvers
+        # outside the snapshot must not leak into snapshot weights).
+        self._weight_authority: "weakref.ref | None" = None
+        self._weight_authority_len = -1
+        self._cumulative_float: np.ndarray | None = None
+        # Tips: visible nodes with no visible approver, in the sorted-id
+        # order tangle.tips() / view.tips() produce.
+        tip_nodes = np.flatnonzero(self.approver_counts == 0)
+        self.tip_nodes = np.array(
+            sorted(tip_nodes.tolist(), key=ids.__getitem__), dtype=np.int64
+        )
+        self._cumulative: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def build(cls, view) -> "TangleSnapshot":
+        """Snapshot ``view`` (a :class:`Tangle` or any visibility view).
+
+        One pass over ``view.transactions()``: an edge is kept iff both
+        endpoints are visible, which reproduces ``view.approvers``
+        exactly (on a raw tangle every edge is kept).
+        """
+        transactions = view.transactions()
+        ids = [tx.tx_id for tx in transactions]
+        index = {tx_id: node for node, tx_id in enumerate(ids)}
+        parent_lists: list[list[int]] = [[] for _ in ids]
+        approver_lists: list[list[int]] = [[] for _ in ids]
+        for node, tx in enumerate(transactions):
+            for parent in tx.parents:
+                parent_node = index.get(parent)
+                if parent_node is None:  # parent not visible in this view
+                    continue
+                parent_lists[node].append(parent_node)
+                approver_lists[parent_node].append(node)
+        snapshot = cls(ids, parent_lists, approver_lists)
+        authority = None
+        if isinstance(view, Tangle):
+            authority = view
+        elif isinstance(view, TangleView) and (
+            view.max_round >= view._tangle.last_round_index
+        ):
+            authority = view._tangle
+        if authority is not None:
+            snapshot._weight_authority = weakref.ref(authority)
+            snapshot._weight_authority_len = len(authority)
+        return snapshot
+
+    def cumulative_weights_float(self) -> np.ndarray:
+        """:meth:`cumulative_weights` as float64, cached — a complete,
+        hole-free score table the weighted walk passes straight in as
+        its memo (shared across every selection of the epoch; the
+        engine never writes to a memo without NaN holes)."""
+        if self._cumulative_float is None:
+            self._cumulative_float = self.cumulative_weights().astype(np.float64)
+        return self._cumulative_float
+
+    def parents_padded(self) -> np.ndarray:
+        """``(N, max_parents)`` padded parent matrix (:func:`_pad_csr`).
+
+        Parent degree is tiny (``num_tips``, usually 2), so a dense
+        padded matrix turns one descent level into a single 2-D gather.
+        Genesis-like rows (no parents) self-pad with node 0; the
+        descent mask stops those particles before the value is used.
+        """
+        if self._parents_padded is None:
+            self._parents_padded = _pad_csr(
+                self.parent_indptr, self.parent_indices, self.parent_counts
+            )
+        return self._parents_padded
+
+    def approvers_padded(self) -> np.ndarray:
+        """``(N, max_approvers)`` padded approver matrix (:func:`_pad_csr`).
+
+        One 2-D gather replaces the per-superstep CSR position
+        arithmetic; the engine's valid mask keeps padding lanes out of
+        every reduction and sample.
+        """
+        if self._approvers_padded is None:
+            self._approvers_padded = _pad_csr(
+                self.approver_indptr, self.approver_indices, self.approver_counts
+            )
+        return self._approvers_padded
+
+    def longest_past_path(self) -> np.ndarray:
+        """Longest parent-path length from each node to a parentless one.
+
+        One topological pass (parents precede children in node order).
+        A depth budget of at least this many steps is guaranteed to
+        bottom out regardless of which parents the descent draws —
+        :func:`batched_walk_starts` uses it to resolve deep descents
+        without stepping them.
+        """
+        if self._longest_past_path is None:
+            n = len(self.ids)
+            longest = np.zeros(n, dtype=np.int64)
+            indptr, indices = self.parent_indptr, self.parent_indices
+            for node in range(n):
+                row = indices[indptr[node] : indptr[node + 1]]
+                if row.size:
+                    longest[node] = 1 + longest[row].max()
+            self._longest_past_path = longest
+        return self._longest_past_path
+
+    def cumulative_weights(self) -> np.ndarray:
+        """Visible cumulative weight (1 + visible future cone) per node.
+
+        A snapshot that covers a whole tangle answers from the tangle's
+        incremental index in O(N) (valid while the tangle hasn't grown
+        past the snapshot).  Truncated views — where the index, which
+        counts the *whole* future cone, does not apply — pay a
+        reverse-topological bitset pass, ``future(i) = union over
+        approvers a of (future(a) | {a})``, O(N^2 / 64) words of work.
+        Either way the values equal ``view.cumulative_weight(id)`` for
+        every visible id; the tests pin that.
+        """
+        if self._cumulative is None and self._weight_authority is not None:
+            tangle = self._weight_authority()
+            if tangle is not None and len(tangle) == self._weight_authority_len:
+                self._cumulative = tangle.cumulative_weights(self.ids).astype(
+                    np.int64
+                )
+        if self._cumulative is None:
+            n = len(self.ids)
+            words = max(1, (n + 63) // 64)
+            masks = np.zeros((n, words), dtype=np.uint64)
+            indptr, indices = self.approver_indptr, self.approver_indices
+            one = np.uint64(1)
+            # Approvers have larger node ids, so a reverse sweep sees
+            # every approver's mask completed before it is consumed.
+            for node in range(n - 1, -1, -1):
+                row = masks[node]
+                for a in indices[indptr[node] : indptr[node + 1]]:
+                    row |= masks[a]
+                    row[a >> 6] |= one << np.uint64(a & 63)
+            self._cumulative = 1 + _popcount_rows(masks)
+        return self._cumulative
+
+
+# --------------------------------------------------------- epoch caching
+#: fingerprint -> (weakref to the anchoring tangle, snapshot).  Bounded
+#: FIFO: an epoch needs one live entry per distinct view, and tangles
+#: are append-only so (id, len, visibility bound) pins the visible set.
+_SNAPSHOT_CACHE: dict = {}
+_SNAPSHOT_CACHE_LIMIT = 8
+
+
+def _fingerprint(view) -> tuple[object | None, tuple | None]:
+    """(anchor object, append-only cache key) for a view, when safe.
+
+    Keys combine the anchoring tangle's identity and length (append-only
+    ⇒ same object at same length means same content) with the view's
+    visibility bound.  Unknown view types return ``(None, None)`` and
+    are rebuilt every time.
+    """
+    if isinstance(view, Tangle):
+        return view, ("tangle", id(view), len(view))
+    if isinstance(view, TangleView):
+        tangle = view._tangle
+        return tangle, ("view", id(tangle), len(tangle), view.max_round)
+    # TimedTangleView lives in repro.fl (a layer above); duck-type it to
+    # keep the dependency pointing downward.  Visibility times are set
+    # once at publish and never mutated, so (len, now, observer) pins
+    # the visible set.
+    if hasattr(view, "_visible_from") and hasattr(view, "now"):
+        tangle = view._tangle
+        return tangle, (
+            "timed",
+            id(tangle),
+            len(tangle),
+            view.now,
+            getattr(view, "_observer", None),
+            # Distinct visibility maps over the same tangle are distinct
+            # views even at the same `now` (map identity; entries for
+            # existing transactions are set once at publish).
+            id(view._visible_from),
+            id(getattr(view, "_published_at", None)),
+        )
+    return None, None
+
+
+def snapshot_for(view) -> TangleSnapshot:
+    """The epoch snapshot for ``view``, built once and cached.
+
+    Every walk of a round / publish epoch hits the same visible state;
+    the cache turns N clients x num_tips walks into one CSR build.  A
+    weakref identity check guards against ``id()`` reuse after GC.
+    """
+    anchor, key = _fingerprint(view)
+    if key is None:
+        return TangleSnapshot.build(view)
+    entry = _SNAPSHOT_CACHE.get(key)
+    if entry is not None and entry[0]() is anchor:
+        return entry[1]
+    snapshot = TangleSnapshot.build(view)
+    # Purge entries whose tangle died before FIFO-evicting live ones, so
+    # snapshots of collected tangles don't linger for up to 8 epochs.
+    for dead_key in [k for k, (ref, _) in _SNAPSHOT_CACHE.items() if ref() is None]:
+        del _SNAPSHOT_CACHE[dead_key]
+    while len(_SNAPSHOT_CACHE) >= _SNAPSHOT_CACHE_LIMIT:
+        _SNAPSHOT_CACHE.pop(next(iter(_SNAPSHOT_CACHE)))
+    _SNAPSHOT_CACHE[key] = (weakref.ref(anchor), snapshot)
+    return snapshot
+
+
+def clear_snapshot_cache() -> None:
+    """Drop all cached snapshots (benchmarks use this between variants)."""
+    _SNAPSHOT_CACHE.clear()
+
+
+# ------------------------------------------------------------ walk starts
+def batched_walk_starts(
+    snapshot: TangleSnapshot,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    depth_range: tuple[int, int] = (15, 25),
+) -> np.ndarray:
+    """``count`` walk starting nodes, the Popov descent vectorized.
+
+    Distributionally identical to ``count`` calls of
+    :func:`repro.dag.random_walk.sample_walk_start`: a uniform tip, a
+    uniform depth in ``depth_range``, then uniform parent choices,
+    stopping early at genesis — but drawn in blocks (all tips, all
+    depths, then one vectorized parent choice per descent level).
+    """
+    low, high = depth_range
+    if low < 0 or high < low:
+        raise ValueError(f"invalid depth range {depth_range}")
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    tips = snapshot.tip_nodes
+    current = tips[rng.integers(0, len(tips), size=count)]
+    depths = rng.integers(low, high + 1, size=count)
+    parent_counts = snapshot.parent_counts
+    max_depth = int(depths.max(initial=0))
+    if max_depth == 0 or len(snapshot) == 1:
+        return current
+    # One uniform block for every potential (level, particle) choice:
+    # floor(u * k) is exactly a uniform draw over k parents, so the
+    # descent distribution matches the per-step sampler's.  The loop
+    # works full-width with masks (no index-list rebuild per level);
+    # finished particles keep their node through the ``where``.
+    # A particle whose depth budget covers the longest possible path
+    # below its tip bottoms out whatever parents it draws; with a single
+    # sink (every proper tangle: genesis) its endpoint is known without
+    # stepping.  Only the undecided particles pay for descent levels.
+    if snapshot.sink_nodes.size == 1:
+        sink = snapshot.sink_nodes[0]
+        resolved = depths >= snapshot.longest_past_path()[current]
+        if resolved.all():
+            return np.full(count, sink, dtype=np.int64)
+        current = np.where(resolved, sink, current)
+    if count <= 4:
+        # A handful of particles cannot amortize full-width vector ops
+        # across ~20 descent levels; scalar CSR walking is cheaper and
+        # draws from the identical distribution.
+        indptr, indices = snapshot.parent_indptr, snapshot.parent_indices
+        uniforms = iter(rng.random(int(depths.sum())))
+        for particle in range(count):
+            node = int(current[particle])
+            for _ in range(int(depths[particle])):
+                k = parent_counts[node]
+                if k == 0:
+                    break
+                node = int(indices[indptr[node] + int(next(uniforms) * k)])
+            current[particle] = node
+        return current
+    uniforms = rng.random((max_depth, count))
+    parents = snapshot.parents_padded()
+    k = parent_counts[current]
+    for level in range(max_depth):
+        descending = (depths > level) & (k > 0)
+        if not descending.any():
+            break
+        picks = (uniforms[level] * k).astype(np.int64)
+        current = np.where(descending, parents[current, picks], current)
+        k = parent_counts[current]
+    return current
+
+
+# --------------------------------------------------------------- stepping
+def padded_normalize(
+    scores: np.ndarray, valid: np.ndarray, normalization: str
+) -> np.ndarray:
+    """Row-wise Eq. 1 / Eq. 3 normalization over a padded ``(L, K)`` block.
+
+    ``valid`` masks each row's real candidates (a row's first
+    ``count_i`` columns); padding cells may hold anything, including
+    NaN, and their outputs are unspecified — callers mask them out
+    before sampling.  On the valid cells the elementwise arithmetic is
+    exactly that of :func:`~repro.dag.tip_selection.normalize_standard`
+    / :func:`~repro.dag.tip_selection.normalize_dynamic` applied to
+    each row (subtract the row max; for ``"dynamic"`` divide by the row
+    spread, falling back to the shift alone at zero spread), so the
+    result is bit-identical per candidate.
+    """
+    row_max = np.where(valid, scores, -np.inf).max(axis=1, keepdims=True)
+    shifted = scores - row_max
+    if normalization == "standard":
+        return shifted
+    if normalization != "dynamic":
+        raise ValueError(f"unknown normalization {normalization!r}")
+    row_min = np.where(valid, scores, np.inf).min(axis=1, keepdims=True)
+    spread = row_max - row_min
+    positive = spread > 0
+    return np.where(positive, shifted / np.where(positive, spread, 1.0), shifted)
+
+
+def _fill_score_memo(
+    score_memo: np.ndarray, candidates: np.ndarray, score_fn: ScoreFn
+) -> None:
+    """Score the distinct not-yet-scored nodes among ``candidates`` into
+    the memo (one ``score_fn`` call); no-op when everything is known."""
+    missing = np.unique(candidates[np.isnan(score_memo[candidates])])
+    if missing.size == 0:
+        return
+    fresh = np.asarray(score_fn(missing), dtype=np.float64)
+    if fresh.shape != missing.shape:
+        raise ValueError(
+            f"score_fn returned shape {fresh.shape} for {missing.shape[0]} nodes"
+        )
+    score_memo[missing] = fresh
+
+
+def lockstep_walks(
+    snapshot: TangleSnapshot,
+    starts: Sequence[int] | np.ndarray,
+    score_fn: ScoreFn,
+    *,
+    alpha: float,
+    normalization: str = "standard",
+    rng: np.random.Generator,
+    evaluation_counter: Callable[[int], None] | None = None,
+    score_memo: np.ndarray | None = None,
+    trace: list | None = None,
+) -> np.ndarray:
+    """Walk every particle from its start to a tip, one superstep at a time.
+
+    Per superstep, over the particles not yet on a tip:
+
+    1. gather the union of their candidate frontiers (CSR row gather);
+    2. score the **unique not-yet-scored** candidates with one
+       ``score_fn`` call — the widest evaluation batch the walk plane
+       has (candidates of every live particle, deduplicated against
+       everything already scored);
+    3. normalize scores row-wise over a padded frontier block
+       (:func:`padded_normalize`, the sequential walker's exact
+       arithmetic);
+    4. sample each particle's next node by segment-wise Gumbel-max over
+       ``alpha * normalized`` — equivalent to an independent
+       ``rng.choice`` per particle with probabilities
+       ``exp(alpha * normalized) / sum``.
+
+    ``evaluation_counter`` preserves the sequential accounting exactly:
+    it is called once per *live particle* per superstep with that
+    particle's candidate count (never the deduplicated union size), so
+    Figure 15's evaluations-per-walk measure is unchanged by batching.
+
+    ``score_memo`` is an optional ``len(snapshot)``-sized float64 array
+    with NaN marking not-yet-scored nodes; scores are filled in as the
+    walk discovers nodes.  A caller that walks the same snapshot
+    repeatedly (a selection's particles, a round's repeated selections)
+    passes the same memo to skip the dedup-and-score round-trip for
+    every previously seen node — sound because a node's score is fixed
+    for the lifetime of a snapshot (a transaction's model never
+    changes, and cumulative weights are frozen with the visible set).
+    Omitted, a fresh memo still dedups within the call.
+
+    ``trace`` (tests/debugging) appends one dict per superstep with the
+    live particle indices, their nodes and candidate counts, each
+    particle's candidate list, and the chosen next nodes.
+
+    Returns the final node of every particle (all tips of the snapshot).
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    current = np.array(starts, dtype=np.int64, copy=True)
+    degrees = snapshot.approver_counts
+    indptr, indices = snapshot.approver_indptr, snapshot.approver_indices
+    if score_memo is None:
+        score_memo = np.full(len(snapshot), np.nan)
+    elif score_memo.shape != (len(snapshot),):
+        raise ValueError(
+            f"score_memo must have shape ({len(snapshot)},), "
+            f"got {score_memo.shape}"
+        )
+    approvers = snapshot.approvers_padded()
+    columns = snapshot._column_range
+    rows = np.arange(len(current))
+    # A memo with no NaN at entry can never miss (scores only get
+    # filled in), so the per-superstep NaN probe is skipped entirely;
+    # a memo that starts with holes keeps the probe for the whole call.
+    memo_may_miss = bool(np.isnan(score_memo).any())
+    live = np.flatnonzero(degrees[current] > 0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        while live.size:
+            if live.size == 1 and trace is None:
+                # Tail finisher: one straggler left — the padded
+                # frontier machinery costs more than it amortizes, so
+                # walk it out with scalar steps (same scores, same
+                # normalization arithmetic, same Gumbel-max law).
+                particle = int(live[0])
+                node = int(current[particle])
+                while degrees[node] > 0:
+                    k = int(degrees[node])
+                    if evaluation_counter is not None:
+                        evaluation_counter(k)
+                    start = indptr[node]
+                    if k == 1:
+                        node = int(indices[start])
+                        continue
+                    row = indices[start : start + k]
+                    scores = score_memo[row]
+                    if memo_may_miss and np.isnan(scores).any():
+                        _fill_score_memo(score_memo, row, score_fn)
+                        scores = score_memo[row]
+                    normalized = padded_normalize(
+                        scores[None, :],
+                        np.ones((1, k), dtype=bool),
+                        normalization,
+                    )[0]
+                    z = alpha * normalized - np.log(
+                        rng.standard_exponential(k)
+                    )
+                    node = int(row[int(z.argmax())])
+                current[particle] = node
+                break
+            nodes = current[live]
+            counts = degrees[nodes]
+            if evaluation_counter is not None:
+                for c in counts:
+                    evaluation_counter(int(c))
+            frontier = approvers[nodes]  # (L, width) padded candidates
+            chosen = frontier[:, 0]  # single-candidate rows: final
+            kmax = int(counts.max())
+            if kmax > 1:
+                # Row i's first counts[i] lanes are its candidates, the
+                # rest repeats of its first — the valid mask keeps the
+                # padding out of every reduction and sample.
+                candidates = frontier[:, :kmax]
+                valid = columns[:kmax] < counts[:, None]
+                scores = score_memo[candidates]
+                if memo_may_miss:
+                    unknown = np.isnan(scores) & valid
+                    if unknown.any():
+                        _fill_score_memo(
+                            score_memo, candidates[unknown], score_fn
+                        )
+                        scores = score_memo[candidates]
+                # Gumbel-max per row: argmax(logit - log E), E ~ Exp(1),
+                # draws from softmax(logit) — one block of exponentials
+                # per superstep replaces one rng.choice per particle.
+                # Softmax is invariant to per-row constant shifts, so
+                # the standard (Eq. 1) subtract-the-max never has to be
+                # materialized: alpha * score is the same logit up to a
+                # row constant.  Dynamic (Eq. 3) divides by the row
+                # spread — a genuine per-row rescale — so only it pays
+                # for the masked reductions, via the shared
+                # padded_normalize arithmetic.
+                if normalization == "standard":
+                    logits = alpha * scores
+                else:
+                    logits = alpha * padded_normalize(scores, valid, normalization)
+                z = logits - np.log(rng.standard_exponential(valid.shape))
+                picks = np.where(valid, z, -np.inf).argmax(axis=1)
+                chosen = np.where(
+                    counts > 1, candidates[rows[: len(nodes)], picks], chosen
+                )
+            if trace is not None:
+                trace.append(
+                    {
+                        "live": live.copy(),
+                        "nodes": nodes.copy(),
+                        "counts": counts.copy(),
+                        "candidates": [
+                            indices[indptr[n] : indptr[n] + degrees[n]].copy()
+                            for n in nodes
+                        ],
+                        "chosen": chosen.copy(),
+                    }
+                )
+            current[live] = chosen
+            live = live[degrees[chosen] > 0]
+    return current

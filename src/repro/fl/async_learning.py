@@ -118,6 +118,18 @@ class TimedTangleView:
             queue.extend(self.approvers(current))
         return 1 + len(seen)
 
+    def cumulative_weights(self, tx_ids) -> np.ndarray:
+        """Batched :meth:`cumulative_weight` (the walk's per-step query).
+
+        Per-id filtered BFS under the hood — delayed visibility means
+        the tangle's incremental index does not apply; the lockstep
+        engine's snapshot computes all visible weights in one pass
+        instead (:meth:`repro.dag.walk_engine.TangleSnapshot.cumulative_weights`).
+        """
+        return np.array(
+            [self.cumulative_weight(tx_id) for tx_id in tx_ids], dtype=np.float64
+        )
+
 
 @dataclass(frozen=True)
 class PublishEvent:

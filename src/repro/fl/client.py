@@ -38,6 +38,10 @@ class Client:
         self.config = config
         self.rng = ensure_rng(rng)
         self._tx_accuracy_cache: dict[str, float] = {}
+        # Bumped whenever the cache is cleared or replaced wholesale;
+        # mirrors of the cache (the walk engine's score memo) compare it
+        # to notice their copy went stale.
+        self.cache_epoch = 0
         self.evaluations = 0  # lifetime count of *uncached* model evaluations
         self.personal_params = 0
         self.personal_tail: list[np.ndarray] | None = None
@@ -143,8 +147,11 @@ class Client:
         """Batched :meth:`tx_accuracy` over all of ``tx_ids``.
 
         The walk's preferred evaluation entry point: one call per walk
-        step covers every candidate approver.  Cached ids are dictionary
-        lookups; the uncached remainder is deduplicated and — when the
+        step covers every candidate approver — and under the lockstep
+        engine one call per *superstep* covers the union frontier of
+        every live particle, the widest batches this method sees.
+        Cached ids are dictionary lookups; the uncached remainder is
+        deduplicated and — when the
         model's layers all have fused kernels and no personalization is
         active — evaluated in **one fused forward pass** over a
         ``(k, P)`` stack of the candidates' flat rows
@@ -224,10 +231,12 @@ class Client:
     def restore_tx_accuracy_cache(self, entries: dict[str, float]) -> None:
         """Replace the evaluation cache with ``entries`` (copied)."""
         self._tx_accuracy_cache = dict(entries)
+        self.cache_epoch += 1
 
     def reset_cache(self) -> None:
         """Drop cached transaction evaluations (e.g. when data changes)."""
         self._tx_accuracy_cache.clear()
+        self.cache_epoch += 1
 
     # ------------------------------------------------------------ training
     def train(

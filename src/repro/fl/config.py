@@ -98,8 +98,24 @@ class DagConfig:
     - ``parallelism`` selects the round-execution substrate
       (:mod:`repro.substrate`): ``1`` (default) runs each round's
       per-client work serially, ``n > 1`` fans it out over ``n`` worker
-      processes, and ``0`` sizes the pool to the machine.  Results are
-      bit-identical across settings for a fixed seed.
+      processes, ``0`` sizes the pool to the machine, and ``"auto"``
+      decides per round — serial whenever the machine has fewer than two
+      usable cores or the round plan is too small for process-pool
+      coordination to pay off, a machine-sized pool otherwise.  Results
+      are bit-identical across all settings for a fixed seed.
+    - ``walk_engine`` switches tip selection to the lockstep multi-walk
+      engine (:mod:`repro.dag.walk_engine`): all of a selection's walk
+      particles advance in frontier-batched supersteps over a cached
+      CSR snapshot of the visible tangle.  Tip *distributions*,
+      evaluation accounting, and determinism-per-seed are unchanged,
+      but individual draws differ from the sequential walker (the
+      generator is consumed in blocks), so records are not
+      bit-comparable across the two settings of this knob.  The
+      snapshot amortizes across a *round* (one build serves every
+      client); the async simulator's per-event views each see a unique
+      point in time, so there the engine rebuilds the snapshot per
+      training cycle — worthwhile when model evaluation dominates a
+      walk, pure overhead for toy models on large tangles.
     """
 
     alpha: float = 10.0
@@ -112,7 +128,8 @@ class DagConfig:
     personal_params: int = 0
     visibility_delay: int = 0
     aggregator: str = "mean"
-    parallelism: int = 1
+    parallelism: int | str = 1
+    walk_engine: bool = False
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
@@ -129,7 +146,13 @@ class DagConfig:
             raise ValueError("personal_params must be >= 0")
         if self.visibility_delay < 0:
             raise ValueError("visibility_delay must be >= 0")
-        if self.parallelism < 0:
+        if isinstance(self.parallelism, str):
+            if self.parallelism != "auto":
+                raise ValueError(
+                    f"parallelism must be an int >= 0 or 'auto', "
+                    f"got {self.parallelism!r}"
+                )
+        elif self.parallelism < 0:
             raise ValueError("parallelism must be >= 0 (0 = machine-sized)")
         from repro.fl.aggregation import AGGREGATORS
 

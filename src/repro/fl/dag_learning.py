@@ -19,7 +19,13 @@ either way for a fixed seed).
 Walk-evaluation contract: each client's accuracy lookups go through its
 per-transaction cache (:meth:`repro.fl.client.Client.tx_accuracies`, the
 batched API the accuracy selector prefers); caching is sound because a
-transaction's model never changes once published.
+transaction's model never changes once published.  With
+``DagConfig(walk_engine=True)`` each selection's particles run in
+lockstep over a per-round CSR snapshot of the frozen view
+(:mod:`repro.dag.walk_engine`) — the snapshot is built once per round
+and shared by every client's walks (per worker process under the
+parallel executor), and each superstep's union frontier reaches
+``tx_accuracies`` as one batch.
 """
 
 from __future__ import annotations
@@ -161,13 +167,22 @@ class TangleLearning:
             ).tolist()
         )
         record = RoundRecord(round_index=self.round_index, active_clients=active_ids)
+        # In-process executors mutate the canonical clients directly;
+        # snapshot/restore is only needed across process boundaries.
+        # Route-per-round executors (AutoExecutor) are asked about this
+        # specific round's size so serial-routed rounds skip the
+        # state-delta round-trip too.
+        route_probe = getattr(self.executor, "will_run_in_process", None)
+        in_process = (
+            route_probe(len(active_ids))
+            if route_probe is not None
+            else getattr(self.executor, "shares_memory", False)
+        )
         context = RoundContext(
             view=self._selection_view(),
             config=self.dag_config,
             rng_factory=self._rngs,
-            # in-process executors mutate the canonical clients directly;
-            # snapshot/restore is only needed across process boundaries
-            capture_state=not getattr(self.executor, "shares_memory", False),
+            capture_state=not in_process,
         )
         units = [
             ClientWorkUnit(

@@ -155,7 +155,10 @@ class Classifier:
         slice straight out of a tangle's weight arena — are viewed as
         per-parameter ``(k, *shape)`` stacks (no weight copies) and every
         model's forward runs in one vectorized pass per batch
-        (:meth:`Sequential.forward_many`).  The batched kernels perform
+        (:meth:`Sequential.forward_many`).  ``k`` is one walk step's
+        uncached candidates, or — under the lockstep multi-walk engine —
+        the deduplicated union frontier of every live particle of a
+        selection, the widest batches this entry point receives.  The batched kernels perform
         the same per-model numpy products as the sequential path, so in
         float64 the result is bit-identical to calling :meth:`load_flat`
         + :meth:`accuracy` per row — which remains the automatic

@@ -10,8 +10,10 @@ results for a fixed seed.
 
 - :mod:`repro.substrate.executor` — :class:`Executor` strategies
   (:class:`SerialExecutor`, :class:`ParallelExecutor`,
-  :func:`make_executor`); selected through the ``parallelism`` knob of
-  :class:`repro.fl.config.DagConfig`.
+  :class:`AutoExecutor`, :func:`make_executor`); selected through the
+  ``parallelism`` knob of :class:`repro.fl.config.DagConfig` (``"auto"``
+  routes per round: serial on single-core machines or tiny round plans,
+  a machine-sized pool otherwise).
 - :mod:`repro.substrate.round_plan` — picklable work units, the shared
   :class:`RoundContext`, :func:`execute_unit`, and the state-delta
   machinery that folds worker results back into coordinator clients.
@@ -21,9 +23,11 @@ round through this substrate.
 """
 
 from repro.substrate.executor import (
+    AutoExecutor,
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    available_cores,
     make_executor,
 )
 from repro.substrate.round_plan import (
@@ -40,6 +44,8 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "AutoExecutor",
+    "available_cores",
     "make_executor",
     "ClientWorkUnit",
     "ClientStateDelta",

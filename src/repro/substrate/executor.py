@@ -22,8 +22,18 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "AutoExecutor",
+    "available_cores",
     "make_executor",
 ]
+
+
+def available_cores() -> int:
+    """Cores actually usable by this process (affinity-mask aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platform without affinity masks
+        return os.cpu_count() or 1
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -141,13 +151,99 @@ class ParallelExecutor:
             pass
 
 
-def make_executor(parallelism: int) -> Executor:
+class AutoExecutor:
+    """Route each round to serial or parallel execution by measured fit.
+
+    The process pool only pays off when (a) the machine has at least two
+    usable cores — on a single-core box time-slicing makes a parallel
+    win physically impossible, the regression ``BENCH_substrate.json``
+    recorded — and (b) the round plan has enough units to amortize
+    pickling and pool coordination.  ``AutoExecutor`` checks both per
+    ``map`` call: rounds below ``min_units`` (or any round on a
+    single-core machine) run on an in-process :class:`SerialExecutor`;
+    larger rounds fan out over a lazily created machine-sized
+    :class:`ParallelExecutor`.  Because work units draw from keyed rng
+    streams, the route cannot affect results — only wall-clock.
+
+    ``mode_counts`` / ``last_mode`` record the decisions so benchmarks
+    and experiments can report which mode auto picked.
+
+    Passing ``workers`` explicitly is an override of the machine
+    sizing, *including* the single-core guard: ``AutoExecutor(workers=2)``
+    will route large batches to a 2-worker pool even on a one-core
+    machine.  Leave it unset to get the guarded default.
+    """
+
+    def __init__(self, *, workers: int | None = None, min_units: int = 4):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if min_units < 1:
+            raise ValueError(f"min_units must be >= 1, got {min_units}")
+        self.cores = available_cores()
+        self.parallelism = workers or (self.cores if self.cores >= 2 else 1)
+        self.min_units = min_units
+        self._serial = SerialExecutor()
+        self._parallel: ParallelExecutor | None = None
+        self.mode_counts = {"serial": 0, "parallel": 0}
+        self.last_mode: str | None = None
+
+    @property
+    def shares_memory(self) -> bool:
+        # Only claim in-process execution when parallel routing is
+        # impossible; otherwise coordinators that cannot predict the
+        # batch size must capture state deltas, because any given round
+        # may cross a process boundary.  Coordinators that do know the
+        # batch size should ask :meth:`will_run_in_process` instead and
+        # skip the snapshot/restore round-trip for serial-routed rounds.
+        return self.parallelism == 1
+
+    def will_run_in_process(self, unit_count: int) -> bool:
+        """Whether a ``map`` over ``unit_count`` items stays in-process.
+
+        Mirrors :meth:`map`'s routing exactly, so a coordinator can
+        decide per round whether worker state deltas are needed.
+        """
+        return self.parallelism == 1 or unit_count < self.min_units
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        items = list(items)
+        if self.will_run_in_process(len(items)):
+            self.last_mode = "serial"
+            self.mode_counts["serial"] += 1
+            return self._serial.map(fn, items)
+        if self._parallel is None:
+            self._parallel = ParallelExecutor(workers=self.parallelism)
+        self.last_mode = "parallel"
+        self.mode_counts["parallel"] += 1
+        return self._parallel.map(fn, items)
+
+    def close(self) -> None:
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "AutoExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def make_executor(parallelism: int | str) -> Executor:
     """Executor for a ``parallelism`` knob value.
 
     ``1`` (the default everywhere) is the serial reference path, ``n > 1``
-    a process pool with ``n`` workers, and ``0`` a process pool sized to
-    the machine (``os.cpu_count()``).
+    a process pool with ``n`` workers, ``0`` a process pool sized to
+    the machine (``os.cpu_count()``), and ``"auto"`` an
+    :class:`AutoExecutor` that falls back to serial on single-core
+    machines and for rounds too small to amortize pool coordination.
     """
+    if isinstance(parallelism, str):
+        if parallelism != "auto":
+            raise ValueError(
+                f"parallelism must be an int >= 0 or 'auto', got {parallelism!r}"
+            )
+        return AutoExecutor()
     if parallelism < 0:
         raise ValueError(f"parallelism must be >= 0, got {parallelism}")
     if parallelism == 1:

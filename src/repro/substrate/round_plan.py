@@ -82,12 +82,21 @@ def build_selector(
     (:meth:`~repro.nn.model.Classifier.accuracy_many`) whenever the
     model's layers support it.  Both simulators (round-based and async)
     and every executor therefore share one evaluation plane.
+
+    ``config.walk_engine`` switches both walking selectors to the
+    lockstep multi-walk engine (:mod:`repro.dag.walk_engine`): all of a
+    selection's particles advance in frontier-batched supersteps over a
+    per-epoch CSR snapshot of ``store``, and each superstep's union
+    frontier reaches ``tx_accuracies`` as **one** batch — wider fused
+    evaluation batches than any single particle's step.
     """
     if config.selector == "random":
         return RandomTipSelector()
     if config.selector == "weighted":
         return WeightedTipSelector(
-            config.weighted_alpha, depth_range=config.depth_range
+            config.weighted_alpha,
+            depth_range=config.depth_range,
+            engine=config.walk_engine,
         )
     return AccuracyTipSelector(
         batch_accuracy_fn=lambda tx_ids: client.tx_accuracies(store, tx_ids),
@@ -95,6 +104,9 @@ def build_selector(
         normalization=config.normalization,
         depth_range=config.depth_range,
         evaluation_counter=evaluation_counter,
+        engine=config.walk_engine,
+        score_cache_fn=client.tx_accuracy_cache,
+        cache_epoch_fn=lambda: client.cache_epoch,
     )
 
 

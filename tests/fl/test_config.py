@@ -66,3 +66,14 @@ def test_dag_config_validation():
         DagConfig(num_tips=0)
     with pytest.raises(ValueError):
         DagConfig(depth_range=(10, 5))
+
+
+def test_dag_config_walk_engine_and_auto_parallelism():
+    cfg = DagConfig(walk_engine=True, parallelism="auto")
+    assert cfg.walk_engine is True
+    assert cfg.parallelism == "auto"
+    assert DagConfig().walk_engine is False  # sequential walker by default
+    with pytest.raises(ValueError):
+        DagConfig(parallelism="turbo")
+    with pytest.raises(ValueError):
+        DagConfig(parallelism=-2)

@@ -1,0 +1,259 @@
+"""Property tests pinning the lockstep engine to the sequential walker.
+
+Three layers of equivalence, from exact to statistical:
+
+1. **Bit-identical arithmetic**: the engine's row-wise padded score
+   normalization must equal `normalize_standard` / `normalize_dynamic`
+   applied per frontier row, bit for bit — same subtraction, same
+   division, same zero-spread fallback.
+2. **Exact transition law**: one superstep's Gumbel-max choice must draw
+   from exactly the softmax distribution `accuracy_walk_weights`
+   computes — verified against the *analytic* probabilities, so a bias
+   in either the normalization or the sampling shows up directly.
+3. **End-to-end distribution**: full `select_tips` over a grown tangle
+   (and over a delay-bounded `TimedTangleView` with the own-publication
+   exemption) must produce the sequential walker's tip distribution,
+   tested over thousands of walks.
+"""
+
+import numpy as np
+
+from repro.dag.tangle import Tangle
+from repro.dag.tip_selection import (
+    AccuracyTipSelector,
+    accuracy_walk_weights,
+    normalize_dynamic,
+    normalize_standard,
+)
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.dag.walk_engine import (
+    batched_walk_starts,
+    clear_snapshot_cache,
+    lockstep_walks,
+    padded_normalize,
+    snapshot_for,
+)
+from repro.fl.async_learning import TimedTangleView
+
+
+def weights():
+    return [np.zeros(1)]
+
+
+def grow_tangle(n=60, seed=4):
+    rng = np.random.default_rng(seed)
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    for i in range(n):
+        parents = tuple(
+            dict.fromkeys(ids[int(rng.integers(0, len(ids)))] for _ in range(2))
+        )
+        tangle.add(Transaction(f"t{i}", parents, weights(), i % 10, i // 10))
+        ids.append(f"t{i}")
+    return tangle, ids
+
+
+def tip_distribution(tips: list[str]) -> dict[str, float]:
+    counts: dict[str, float] = {}
+    for tip in tips:
+        counts[tip] = counts.get(tip, 0.0) + 1.0
+    return {tip: c / len(tips) for tip, c in counts.items()}
+
+
+def total_variation(p: dict[str, float], q: dict[str, float]) -> float:
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in set(p) | set(q))
+
+
+# ------------------------------------------------- 1. exact arithmetic
+def test_padded_normalize_bit_identical_to_sequential():
+    rng = np.random.default_rng(0)
+    for normalization, reference in (
+        ("standard", normalize_standard),
+        ("dynamic", normalize_dynamic),
+    ):
+        for trial in range(30):
+            rows = int(rng.integers(1, 12))
+            kmax = int(rng.integers(2, 9))
+            counts = rng.integers(1, kmax + 1, size=rows)
+            scores = rng.random((rows, kmax))
+            if trial % 5 == 0:  # exercise the zero-spread fallback
+                scores[0] = 0.25
+            if trial % 7 == 0:  # padding cells may hold anything
+                scores[np.arange(kmax) >= counts[:, None]] = np.nan
+            valid = np.arange(kmax) < counts[:, None]
+            normalized = padded_normalize(scores, valid, normalization)
+            for i in range(rows):
+                np.testing.assert_array_equal(
+                    normalized[i, : counts[i]],
+                    reference(scores[i, : counts[i]]),
+                )
+
+
+# --------------------------------------------- 2. exact transition law
+def test_superstep_choice_matches_analytic_softmax():
+    """A star tangle (genesis -> k tips) makes one superstep the whole
+    walk: the engine's empirical choice frequencies must match
+    `accuracy_walk_weights` to Monte-Carlo accuracy."""
+    k, n = 6, 20000
+    tangle = Tangle(weights())
+    for i in range(k):
+        tangle.add(Transaction(f"t{i}", (GENESIS_ID,), weights(), i, 0))
+    clear_snapshot_cache()
+    snapshot = snapshot_for(tangle)
+    accuracies = np.random.default_rng(1).random(k)
+    scores_by_node = np.zeros(len(snapshot))
+    for i in range(k):
+        scores_by_node[snapshot.index[f"t{i}"]] = accuracies[i]
+    genesis_node = snapshot.index[GENESIS_ID]
+    for normalization in ("standard", "dynamic"):
+        for alpha in (0.0, 2.0, 10.0):
+            finals = lockstep_walks(
+                snapshot,
+                np.full(n, genesis_node, dtype=np.int64),
+                lambda nodes: scores_by_node[nodes],
+                alpha=alpha,
+                normalization=normalization,
+                rng=np.random.default_rng(int(alpha * 10) + 2),
+            )
+            frequencies = np.bincount(finals, minlength=len(snapshot))[
+                [snapshot.index[f"t{i}"] for i in range(k)]
+            ] / n
+            expected = accuracy_walk_weights(
+                accuracies, alpha, normalization=normalization
+            )
+            # 5 sigma on the largest cell: sqrt(0.25 / n) ~ 0.0035
+            np.testing.assert_allclose(
+                frequencies, expected, atol=5 * np.sqrt(0.25 / n)
+            )
+
+
+# ------------------------------------------- 3. end-to-end distribution
+def test_engine_tip_distribution_matches_sequential():
+    """Full select_tips over a grown tangle, 3000 walks per walker."""
+    tangle, ids = grow_tangle(n=60, seed=4)
+    accuracies = {
+        tx_id: float(v)
+        for tx_id, v in zip(ids, np.random.default_rng(5).random(len(ids)))
+    }
+    for normalization in ("standard", "dynamic"):
+        sequential = AccuracyTipSelector(
+            accuracies.__getitem__,
+            alpha=5.0,
+            normalization=normalization,
+            depth_range=(15, 25),
+        )
+        engine = AccuracyTipSelector(
+            accuracies.__getitem__,
+            alpha=5.0,
+            normalization=normalization,
+            depth_range=(15, 25),
+            engine=True,
+        )
+        clear_snapshot_cache()
+        n = 3000
+        seq_tips = sequential.select_tips(tangle, n, np.random.default_rng(6))
+        eng_tips = engine.select_tips(tangle, n, np.random.default_rng(7))
+        assert all(tangle.is_tip(t) for t in eng_tips)
+        tv = total_variation(tip_distribution(seq_tips), tip_distribution(eng_tips))
+        assert tv < 0.10, (
+            f"tip distributions diverge under {normalization} (TV={tv:.3f})"
+        )
+
+
+def test_engine_matches_sequential_on_timed_view():
+    """Delayed-visibility parity: both walkers see the same truncated
+    tangle through a TimedTangleView and must produce the same tip
+    distribution over it."""
+    tangle, ids = grow_tangle(n=50, seed=8)
+    rng = np.random.default_rng(9)
+    # Every transaction becomes network-visible at a random time; cut at
+    # the median so the view genuinely truncates the DAG.
+    visible_from = {GENESIS_ID: 0.0}
+    for i, tx_id in enumerate(ids[1:]):
+        visible_from[tx_id] = float(i) + float(rng.random())
+    now = 25.0
+    view = TimedTangleView(tangle, visible_from, now)
+    assert 1 < len(view.transactions()) < len(tangle)
+    accuracies = {
+        tx_id: float(v)
+        for tx_id, v in zip(ids, np.random.default_rng(10).random(len(ids)))
+    }
+    sequential = AccuracyTipSelector(
+        accuracies.__getitem__, alpha=5.0, depth_range=(10, 20)
+    )
+    engine = AccuracyTipSelector(
+        accuracies.__getitem__, alpha=5.0, depth_range=(10, 20), engine=True
+    )
+    clear_snapshot_cache()
+    n = 1500
+    seq_tips = sequential.select_tips(view, n, np.random.default_rng(11))
+    eng_tips = engine.select_tips(view, n, np.random.default_rng(12))
+    visible_tips = set(view.tips())
+    assert set(eng_tips) <= visible_tips and set(seq_tips) <= visible_tips
+    tv = total_variation(tip_distribution(seq_tips), tip_distribution(eng_tips))
+    assert tv < 0.10, f"timed-view tip distributions diverge (TV={tv:.3f})"
+
+
+def test_both_walkers_survive_visible_child_invisible_parent():
+    """The async race: a transaction can propagate before its parent
+    (the issuer saw its own unpropagated tx and approved it).  Both
+    walkers must treat the invisible-parent edge as absent — the
+    sequential start sampler must not crash descending through it."""
+    tangle = Tangle(weights())
+    tangle.add(Transaction("slow", (GENESIS_ID,), weights(), 0, 0))
+    tangle.add(Transaction("fast-child", ("slow",), weights(), 0, 1))
+    # observer 1 at t=3: sees fast-child (delay 1) but not slow (delay 10)
+    visible_from = {GENESIS_ID: 0.0, "slow": 10.0, "fast-child": 3.0}
+    view = TimedTangleView(tangle, visible_from, 3.0, observer=1)
+    assert "fast-child" in view and "slow" not in view
+    accuracies = {GENESIS_ID: 0.1, "slow": 0.5, "fast-child": 0.9}
+    for engine in (False, True):
+        clear_snapshot_cache()
+        selector = AccuracyTipSelector(
+            accuracies.__getitem__, alpha=5.0, depth_range=(5, 10), engine=engine
+        )
+        tips = selector.select_tips(view, 20, np.random.default_rng(14))
+        assert set(tips) <= set(view.tips())
+
+
+def test_snapshot_cache_distinguishes_visibility_maps():
+    """Two TimedTangleViews over the same tangle at the same `now` but
+    with different visibility maps are different views — the snapshot
+    cache must not serve one's snapshot for the other."""
+    tangle = Tangle(weights())
+    tangle.add(Transaction("t", (GENESIS_ID,), weights(), 0, 0))
+    early = TimedTangleView(tangle, {GENESIS_ID: 0.0, "t": 0.5}, 1.0)
+    late = TimedTangleView(tangle, {GENESIS_ID: 0.0, "t": 5.0}, 1.0)
+    clear_snapshot_cache()
+    assert "t" in snapshot_for(early).index
+    assert "t" not in snapshot_for(late).index
+
+
+def test_engine_honours_own_publication_exemption():
+    """The PR 3 exemption: an issuer sees its own transaction before the
+    network does.  The engine's snapshot must include it — and, when it
+    is the best tip, select it — while a non-observer's snapshot must
+    not contain it at all."""
+    tangle = Tangle(weights())
+    tangle.add(Transaction("shared", (GENESIS_ID,), weights(), 1, 0))
+    tangle.add(Transaction("mine", ("shared",), weights(), 0, 1))
+    visible_from = {GENESIS_ID: 0.0, "shared": 0.5, "mine": 9.0}  # still propagating
+    published_at = {GENESIS_ID: 0.0, "shared": 0.2, "mine": 1.0}
+    accuracies = {GENESIS_ID: 0.1, "shared": 0.5, "mine": 0.9}
+
+    def run(observer):
+        view = TimedTangleView(
+            tangle, visible_from, 2.0, observer=observer, published_at=published_at
+        )
+        clear_snapshot_cache()
+        selector = AccuracyTipSelector(
+            accuracies.__getitem__, alpha=1e8, depth_range=(10, 10), engine=True
+        )
+        return view, selector.select_tips(view, 20, np.random.default_rng(13))
+
+    issuer_view, issuer_tips = run(observer=0)
+    assert snapshot_for(issuer_view).index.get("mine") is not None
+    assert issuer_tips == ["mine"] * 20  # its own tip, deterministically
+    other_view, other_tips = run(observer=1)
+    assert "mine" not in snapshot_for(other_view).index
+    assert other_tips == ["shared"] * 20

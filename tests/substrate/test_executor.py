@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.substrate import ParallelExecutor, SerialExecutor, make_executor
+from repro.substrate import (
+    AutoExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    available_cores,
+    make_executor,
+)
 
 
 def square(x):
@@ -46,3 +52,59 @@ def test_parallel_pool_survives_close_and_reuse():
 def test_parallel_rejects_bad_worker_count():
     with pytest.raises(ValueError):
         ParallelExecutor(workers=0)
+
+
+# ------------------------------------------------------------------ auto
+def test_make_executor_auto_and_rejects_unknown_strings():
+    auto = make_executor("auto")
+    assert isinstance(auto, AutoExecutor)
+    assert auto.parallelism >= 1
+    auto.close()
+    with pytest.raises(ValueError):
+        make_executor("turbo")
+
+
+def test_auto_small_batches_route_serial():
+    with AutoExecutor(workers=2, min_units=4) as ex:
+        assert ex.will_run_in_process(3) and not ex.will_run_in_process(4)
+        assert ex.map(square, [1, 2, 3]) == [1, 4, 9]
+        assert ex.last_mode == "serial"
+        assert ex.mode_counts == {"serial": 1, "parallel": 0}
+        # small batches never pay for a pool
+        assert ex._parallel is None
+
+
+def test_auto_large_batches_route_parallel_when_multicore():
+    with AutoExecutor(workers=2, min_units=4) as ex:
+        result = ex.map(square, list(range(8)))
+        assert result == [square(x) for x in range(8)]
+        assert ex.last_mode == "parallel"
+        assert ex.mode_counts["parallel"] == 1
+        assert not ex.shares_memory  # rounds may cross a process boundary
+
+
+def test_auto_single_core_always_serial():
+    ex = AutoExecutor(workers=1, min_units=1)
+    assert ex.shares_memory  # parallel routing impossible: in-process
+    assert ex.map(square, list(range(10))) == [square(x) for x in range(10)]
+    assert ex.mode_counts == {"serial": 1, "parallel": 0}
+    ex.close()
+
+
+def test_auto_defaults_track_machine_size():
+    ex = AutoExecutor()
+    cores = available_cores()
+    assert ex.parallelism == (cores if cores >= 2 else 1)
+    assert ex.shares_memory == (ex.parallelism == 1)
+    ex.close()
+
+
+def test_auto_rejects_bad_min_units():
+    with pytest.raises(ValueError):
+        AutoExecutor(min_units=0)
+
+
+def test_auto_rejects_bad_worker_count():
+    for workers in (0, -3):
+        with pytest.raises(ValueError):
+            AutoExecutor(workers=workers)

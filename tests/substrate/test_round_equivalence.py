@@ -62,8 +62,18 @@ def assert_tangles_identical(t1, t2):
         {"attackers": {2: "random_weights"}},
         {"selector": "weighted", "weighted_alpha": 0.5},
         {"personal_params": 2},
+        {"walk_engine": True},
+        {"walk_engine": True, "selector": "weighted", "visibility_delay": 1},
     ],
-    ids=["accuracy", "visibility-delay", "attacker", "weighted", "personalized"],
+    ids=[
+        "accuracy",
+        "visibility-delay",
+        "attacker",
+        "weighted",
+        "personalized",
+        "walk-engine",
+        "walk-engine-weighted-delay",
+    ],
 )
 def test_serial_and_parallel_rounds_identical(
     tiny_fmnist, mlp_builder, fast_train_config, dag_overrides
@@ -117,3 +127,41 @@ def test_explicit_executor_override(tiny_fmnist, mlp_builder, fast_train_config)
         executor=executor,
     )
     assert sim.executor is executor
+
+
+def test_auto_executor_rounds_identical_to_serial(
+    tiny_fmnist, mlp_builder, fast_train_config
+):
+    """AutoExecutor-driven rounds — both routings — match the serial
+    reference bit for bit.  min_units=1 forces the parallel route even
+    for this small plan (and exercises the run_round capture_state
+    probe); the plain "auto" config on this plan routes serial."""
+    from repro.fl.dag_learning import TangleLearning
+    from repro.substrate import AutoExecutor
+
+    serial = make_sim(tiny_fmnist, mlp_builder, fast_train_config)
+    forced_parallel = TangleLearning(
+        tiny_fmnist,
+        mlp_builder,
+        fast_train_config,
+        DagConfig(alpha=10.0, depth_range=(2, 5)),
+        clients_per_round=4,
+        seed=0,
+        executor=AutoExecutor(workers=2, min_units=1),
+    )
+    auto_serial = make_sim(
+        tiny_fmnist, mlp_builder, fast_train_config, parallelism="auto"
+    )
+    try:
+        serial.run(3)
+        forced_parallel.run(3)
+        auto_serial.run(3)
+    finally:
+        serial.close()
+        forced_parallel.close()
+        auto_serial.close()
+    assert forced_parallel.executor.mode_counts["parallel"] == 3
+    assert_records_identical(serial.history, forced_parallel.history)
+    assert_records_identical(serial.history, auto_serial.history)
+    assert_tangles_identical(serial.tangle, forced_parallel.tangle)
+    assert_tangles_identical(serial.tangle, auto_serial.tangle)
