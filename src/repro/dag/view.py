@@ -14,7 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.dag.tangle import Tangle
-from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.dag.transaction import Transaction
 
 __all__ = ["TangleView", "visible_tips"]
 

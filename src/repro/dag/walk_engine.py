@@ -120,12 +120,14 @@ class TangleSnapshot:
 
         def to_csr(lists: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
             counts = np.fromiter(
-                (len(l) for l in lists), dtype=np.int64, count=n
+                (len(adjacency) for adjacency in lists), dtype=np.int64, count=n
             )
             indptr = np.zeros(n + 1, dtype=np.int64)
             np.cumsum(counts, out=indptr[1:])
             indices = np.fromiter(
-                (i for l in lists for i in l), dtype=np.int64, count=int(indptr[-1])
+                (i for adjacency in lists for i in adjacency),
+                dtype=np.int64,
+                count=int(indptr[-1]),
             )
             return indptr, indices
 

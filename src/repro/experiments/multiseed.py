@@ -9,8 +9,6 @@ downstream plotting gets shaded-band data for free.
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.experiments.registry import get_experiment

@@ -260,7 +260,10 @@ class AsyncTangleLearning:
         reference = client.apply_personalization(self._aggregate(parent_models))
         # The publish gate needs accuracies only — take the loss-free path.
         reference_accuracy = client.accuracy_of_weights(reference)
-        trained, _loss = client.train(reference)
+        # An async cycle trains one client, so the training plane
+        # degenerates to a K=1 fused group — same kernels, same bits,
+        # batched numpy instead of the per-layer Python loop.
+        trained, _loss = client.train(reference, fused=cfg.training_plane)
         client.update_personal_tail(trained)
         accuracy = client.accuracy_of_weights(trained)
 

@@ -6,9 +6,10 @@ import numpy as np
 
 from repro.data.base import ClientData
 from repro.dag.tangle import Tangle
-from repro.nn.model import Classifier
+from repro.nn.model import Classifier, plan_local_batches
 from repro.nn.optimizers import SGD, ProximalSGD
 from repro.nn.serialization import Weights
+from repro.nn.training_plane import LockstepTrainer, TrainJob
 from repro.fl.config import TrainingConfig
 from repro.utils.rng import ensure_rng
 
@@ -105,6 +106,19 @@ class Client:
         self.model.set_weights(weights)
         self.evaluations += 1
         return self.model.accuracy(self.data.x_test, self.data.y_test)
+
+    def evaluate_flat(self, flat: np.ndarray) -> tuple[float, float]:
+        """:meth:`evaluate_weights` for a flat weight vector.
+
+        The training plane's post-training entry point: the trained row
+        comes straight off the lockstep ``(K, P)`` stack and loads via
+        :meth:`Classifier.load_flat` — no per-layer list is built.
+        Bookkeeping (the evaluation counter) matches
+        :meth:`evaluate_weights` exactly.
+        """
+        self.model.load_flat(flat)
+        self.evaluations += 1
+        return self.model.evaluate(self.data.x_test, self.data.y_test)
 
     def tx_accuracy(self, tangle: Tangle, tx_id: str) -> float:
         """Cached accuracy of a transaction's model on local test data.
@@ -245,15 +259,26 @@ class Client:
         *,
         proximal_mu: float | None = None,
         epochs_override: int | None = None,
+        fused: bool = False,
     ) -> tuple[Weights, float]:
         """Local training starting from ``weights``.
 
         Returns the trained weights and the mean training loss.  With
         ``proximal_mu`` set, uses the FedProx proximal objective anchored
         at the incoming weights.
+
+        ``fused=True`` routes plain-SGD training through the lockstep
+        training plane's kernels (:mod:`repro.nn.training_plane`) as a
+        single-model group — bit-identical weights and loss, one batched
+        numpy pass per batch instead of a per-layer Python loop.  Models
+        with unfused layers, and proximal training, fall back to the
+        sequential path automatically.
         """
-        self.model.set_weights(weights)
         config = self.config
+        epochs = epochs_override if epochs_override is not None else config.local_epochs
+        if fused and proximal_mu is None and self.model.supports_fused_train:
+            return self._train_fused(weights, epochs)
+        self.model.set_weights(weights)
         if proximal_mu is not None:
             optimizer: SGD = ProximalSGD(
                 config.learning_rate, proximal_mu, momentum=config.momentum
@@ -261,7 +286,6 @@ class Client:
             optimizer.set_reference(weights)
         else:
             optimizer = SGD(config.learning_rate, momentum=config.momentum)
-        epochs = epochs_override if epochs_override is not None else config.local_epochs
         loss = self.model.train_local(
             self.data.x_train,
             self.data.y_train,
@@ -272,4 +296,29 @@ class Client:
             max_batches=config.local_batches,
         )
         # get_weights() already returns fresh copies — no defensive clone.
+        return self.model.get_weights(), loss
+
+    def _train_fused(self, weights: Weights, epochs: int) -> tuple[Weights, float]:
+        """Plain-SGD local training through the fused kernels (``K=1``)."""
+        config = self.config
+        batches = plan_local_batches(
+            self.data.x_train.shape[0],
+            self.rng,
+            epochs=epochs,
+            batch_size=config.batch_size,
+            max_batches=config.local_batches,
+        )
+        job = TrainJob(
+            x=self.data.x_train,
+            y=self.data.y_train,
+            batches=batches,
+            start_flat=self.model.flat_spec.flatten(weights),
+        )
+        trainer = LockstepTrainer(
+            lr=config.learning_rate, momentum=config.momentum
+        )
+        [(row, loss)] = trainer.train(self.model, [job])
+        # Leave the model holding the trained weights, exactly like the
+        # sequential loop does, then hand back fresh copies.
+        self.model.load_flat(row)
         return self.model.get_weights(), loss

@@ -116,6 +116,18 @@ class DagConfig:
       point in time, so there the engine rebuilds the snapshot per
       training cycle — worthwhile when model evaluation dominates a
       walk, pure overhead for toy models on large tangles.
+    - ``training_plane`` switches a round's local training to the
+      lockstep plane (:mod:`repro.nn.training_plane`): the walk/
+      aggregation phase still runs per client (and still parallelizes),
+      but every participating client's SGD then advances in fused
+      supersteps over one ``(K, P)`` weight stack — one batched
+      forward/backward per global batch index instead of K Python
+      loops.  Results are **bit-identical** to the per-client loop (and
+      therefore across executors); models with unfused layers (conv,
+      LSTM, embedding, pooling) and mixed batch schedules fall back to
+      the per-model loop automatically.  In the async simulator each
+      training cycle is a single client, so the knob routes
+      ``Client.train`` through the same fused kernels with ``K = 1``.
     """
 
     alpha: float = 10.0
@@ -130,6 +142,7 @@ class DagConfig:
     aggregator: str = "mean"
     parallelism: int | str = 1
     walk_engine: bool = False
+    training_plane: bool = False
 
     def __post_init__(self) -> None:
         if self.alpha < 0:

@@ -52,6 +52,7 @@ from repro.substrate import (
     build_selector,
     execute_unit,
     make_executor,
+    run_training_plane_round,
 )
 from repro.utils.rng import RngFactory
 
@@ -200,7 +201,17 @@ class TangleLearning:
             )
             for unit in units
         ]
-        results = self.executor.map(execute_unit, payloads)
+        # With the training plane, walks still fan out per client but
+        # local SGD advances all participants in fused lockstep
+        # supersteps on the coordinator — bit-identical results either
+        # way (and across executors), so the commit loop below does not
+        # care which path produced them.
+        if self.dag_config.training_plane:
+            results = run_training_plane_round(
+                self.executor, context, payloads, self.clients
+            )
+        else:
+            results = self.executor.map(execute_unit, payloads)
 
         for unit, result in zip(units, results):
             client_id = result.client_id

@@ -22,9 +22,14 @@ from repro.nn.layers import (
     LSTM,
     LastTimeStep,
 )
-from repro.nn.losses import softmax_cross_entropy, softmax_probabilities
+from repro.nn.losses import (
+    softmax_cross_entropy,
+    softmax_cross_entropy_many,
+    softmax_probabilities,
+)
 from repro.nn.optimizers import SGD, ProximalSGD, Adam, clip_gradients
-from repro.nn.model import Classifier
+from repro.nn.model import Classifier, plan_local_batches
+from repro.nn.training_plane import LockstepTrainer, TrainJob
 from repro.nn.serialization import (
     FlatSpec,
     average_weights,
@@ -52,12 +57,16 @@ __all__ = [
     "LSTM",
     "LastTimeStep",
     "softmax_cross_entropy",
+    "softmax_cross_entropy_many",
     "softmax_probabilities",
     "SGD",
     "ProximalSGD",
     "Adam",
     "clip_gradients",
     "Classifier",
+    "plan_local_batches",
+    "LockstepTrainer",
+    "TrainJob",
     "FlatSpec",
     "average_weights",
     "clone_weights",

@@ -23,6 +23,7 @@ class ReLU(Layer):
     """Rectified linear unit."""
 
     fused_eval = True
+    fused_train = True
 
     def __init__(self) -> None:
         self._mask: np.ndarray | None = None
@@ -36,6 +37,26 @@ class ReLU(Layer):
     ) -> tuple[np.ndarray, bool]:
         return np.where(x > 0, x, 0.0), batched
 
+    def forward_many_train(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool, cache: dict
+    ) -> tuple[np.ndarray, bool]:
+        mask = x > 0
+        cache["mask"] = mask
+        return np.where(mask, x, 0.0), batched
+
+    def backward_many(
+        self,
+        grad_out: np.ndarray,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        cache: dict,
+        *,
+        need_input_grad: bool = True,
+    ) -> np.ndarray | None:
+        # A pre-model-axis mask (layer below the first per-model layer)
+        # broadcasts over the stacked gradient.
+        return np.where(cache["mask"], grad_out, 0.0)
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
@@ -48,6 +69,7 @@ class Tanh(Layer):
     """Hyperbolic tangent."""
 
     fused_eval = True
+    fused_train = True
 
     def __init__(self) -> None:
         self._out: np.ndarray | None = None
@@ -61,6 +83,24 @@ class Tanh(Layer):
     ) -> tuple[np.ndarray, bool]:
         return np.tanh(x), batched
 
+    def forward_many_train(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool, cache: dict
+    ) -> tuple[np.ndarray, bool]:
+        out = np.tanh(x)
+        cache["out"] = out
+        return out, batched
+
+    def backward_many(
+        self,
+        grad_out: np.ndarray,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        cache: dict,
+        *,
+        need_input_grad: bool = True,
+    ) -> np.ndarray | None:
+        return grad_out * (1.0 - cache["out"] ** 2)
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward called before forward")
@@ -73,6 +113,7 @@ class Sigmoid(Layer):
     """Logistic sigmoid."""
 
     fused_eval = True
+    fused_train = True
 
     def __init__(self) -> None:
         self._out: np.ndarray | None = None
@@ -85,6 +126,25 @@ class Sigmoid(Layer):
         self, x: np.ndarray, params: list[np.ndarray], *, batched: bool
     ) -> tuple[np.ndarray, bool]:
         return sigmoid(x), batched
+
+    def forward_many_train(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool, cache: dict
+    ) -> tuple[np.ndarray, bool]:
+        out = sigmoid(x)
+        cache["out"] = out
+        return out, batched
+
+    def backward_many(
+        self,
+        grad_out: np.ndarray,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        cache: dict,
+        *,
+        need_input_grad: bool = True,
+    ) -> np.ndarray | None:
+        out = cache["out"]
+        return grad_out * out * (1.0 - out)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._out is None:

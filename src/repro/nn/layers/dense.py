@@ -41,6 +41,7 @@ class Dense(Layer):
         self._x: np.ndarray | None = None
 
     fused_eval = True
+    fused_train = True
 
     def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
         if x.shape[-1] != self.in_features:
@@ -74,7 +75,54 @@ class Dense(Layer):
             (k,) + (1,) * (stacked.ndim - 3) + (self.in_features, self.out_features)
         )
         out = np.matmul(stacked, kernel)
-        return out + bias.reshape((k,) + (1,) * (out.ndim - 2) + (self.out_features,)), True
+        out += bias.reshape((k,) + (1,) * (out.ndim - 2) + (self.out_features,))
+        return out, True
+
+    def forward_many_train(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool, cache: dict
+    ) -> tuple[np.ndarray, bool]:
+        """Same batched affine map as :meth:`forward_many`, input cached."""
+        cache["x"] = x
+        cache["batched"] = batched
+        return self.forward_many(x, params, batched=batched)
+
+    def backward_many(
+        self,
+        grad_out: np.ndarray,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        cache: dict,
+        *,
+        need_input_grad: bool = True,
+    ) -> np.ndarray | None:
+        """Batched-parameter backward: ``k`` models' grads in one matmul each.
+
+        Per model the products are exactly :meth:`backward`'s —
+        ``x2.T @ g2``, ``g2.sum(axis=0)`` and ``grad_out @ W.T`` — run
+        as one stacked :func:`np.matmul` / axis-1 reduction over the
+        ``(k, ...)`` stacks, so the accumulated gradient stacks are
+        bit-identical in float64 to the sequential per-model loop.  With
+        ``need_input_grad=False`` (this layer is the lowest parametered
+        one) the ``grad_out @ W.T`` product is skipped entirely.
+        """
+        kernel, _bias = params
+        grad_weight, grad_bias = grads
+        k = kernel.shape[0]
+        x = cache["x"]
+        g2 = grad_out.reshape(k, -1, self.out_features)
+        if cache["batched"]:
+            x2 = x.reshape(k, -1, self.in_features)
+        else:
+            # Shared input: one model-axis-free copy broadcasts over k.
+            x2 = x.reshape(-1, self.in_features)[None]
+        grad_weight += np.matmul(x2.transpose(0, 2, 1), g2)
+        grad_bias += g2.sum(axis=1)
+        if not need_input_grad:
+            return None
+        kernel_t = kernel.transpose(0, 2, 1).reshape(
+            (k,) + (1,) * (grad_out.ndim - 3) + (self.out_features, self.in_features)
+        )
+        return np.matmul(grad_out, kernel_t)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         x = self._x

@@ -13,6 +13,7 @@ class Flatten(Layer):
     """Flatten all non-batch dimensions: ``(N, ...) -> (N, prod(...))``."""
 
     fused_eval = True
+    fused_train = True
 
     def __init__(self) -> None:
         self._shape: tuple[int, ...] | None = None
@@ -27,6 +28,27 @@ class Flatten(Layer):
         if batched:
             return x.reshape(x.shape[0], x.shape[1], -1), True
         return x.reshape(x.shape[0], -1), False
+
+    def forward_many_train(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool, cache: dict
+    ) -> tuple[np.ndarray, bool]:
+        cache["shape"] = x.shape
+        cache["batched"] = batched
+        return self.forward_many(x, params, batched=batched)
+
+    def backward_many(
+        self,
+        grad_out: np.ndarray,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        cache: dict,
+        *,
+        need_input_grad: bool = True,
+    ) -> np.ndarray | None:
+        if cache["batched"]:
+            return grad_out.reshape(cache["shape"])
+        # Input was shared (no model axis); the gradient carries one.
+        return grad_out.reshape((grad_out.shape[0],) + cache["shape"])
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._shape is None:
@@ -44,6 +66,7 @@ class LastTimeStep(Layer):
     """
 
     fused_eval = True
+    fused_train = True
 
     def __init__(self) -> None:
         self._shape: tuple[int, ...] | None = None
@@ -60,6 +83,29 @@ class LastTimeStep(Layer):
         if x.ndim != (4 if batched else 3):
             raise ValueError(f"LastTimeStep expects (N, T, H) per model, got {x.shape}")
         return x[..., -1, :], batched
+
+    def forward_many_train(
+        self, x: np.ndarray, params: list[np.ndarray], *, batched: bool, cache: dict
+    ) -> tuple[np.ndarray, bool]:
+        cache["shape"] = x.shape
+        cache["batched"] = batched
+        return self.forward_many(x, params, batched=batched)
+
+    def backward_many(
+        self,
+        grad_out: np.ndarray,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        cache: dict,
+        *,
+        need_input_grad: bool = True,
+    ) -> np.ndarray | None:
+        shape = cache["shape"]
+        if not cache["batched"]:
+            shape = (grad_out.shape[0],) + shape
+        grad_in = np.zeros(shape, dtype=grad_out.dtype)
+        grad_in[..., -1, :] = grad_out
+        return grad_in
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._shape is None:

@@ -9,7 +9,11 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["softmax_probabilities", "softmax_cross_entropy"]
+__all__ = [
+    "softmax_probabilities",
+    "softmax_cross_entropy",
+    "softmax_cross_entropy_many",
+]
 
 
 def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
@@ -42,3 +46,38 @@ def softmax_cross_entropy(
     grad[np.arange(n), labels] -= 1.0
     grad /= n
     return loss, grad
+
+
+def softmax_cross_entropy_many(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-model :func:`softmax_cross_entropy` over ``k`` stacked models.
+
+    ``logits`` is ``(k, N, C)`` and ``labels`` ``(k, N)`` — model ``i``'s
+    batch may carry different samples than model ``j``'s (each lockstep
+    client trains on its own data).  Returns ``(losses, grad)`` with
+    ``losses`` of shape ``(k,)`` and ``grad`` of shape ``(k, N, C)``,
+    the gradient of each model's *mean* loss w.r.t. its logits.  Every
+    operation is the row-wise analogue of the sequential function, so
+    both outputs are bit-identical in float64 to calling it per model.
+    """
+    labels = np.asarray(labels)
+    if logits.ndim != 3:
+        raise ValueError(f"logits must be (k, N, C), got {logits.shape}")
+    k, n, _ = logits.shape
+    if labels.shape != (k, n):
+        raise ValueError(
+            f"labels must be (k, N) matching logits {logits.shape}, "
+            f"got {labels.shape}"
+        )
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=-1, keepdims=True)
+    rows = np.arange(k)[:, None]
+    cols = np.arange(n)[None, :]
+    picked = probs[rows, cols, labels]
+    losses = -np.log(np.clip(picked, 1e-12, None)).mean(axis=-1)
+    grad = probs
+    grad[rows, cols, labels] -= 1.0
+    grad /= n
+    return losses, grad

@@ -9,7 +9,43 @@ from repro.nn.module import Sequential
 from repro.nn.optimizers import SGD
 from repro.nn.serialization import FlatSpec, Weights, clone_weights
 
-__all__ = ["Classifier"]
+__all__ = ["Classifier", "plan_local_batches"]
+
+
+def plan_local_batches(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    epochs: int = 1,
+    batch_size: int = 10,
+    max_batches: int | None = None,
+) -> list[np.ndarray]:
+    """The batch index schedule of :meth:`Classifier.train_local`.
+
+    Draws the per-epoch shuffles from ``rng`` exactly as the training
+    loop historically did (one permutation per epoch, extra permutations
+    to fill ``max_batches`` when the dataset is smaller than the batch
+    budget), and returns all epochs' index batches as one flat list in
+    training order.  Both :meth:`Classifier.train_local` and the
+    lockstep training plane build their schedules here, so the plane's
+    supersteps consume the client generator identically to the
+    sequential loop — schedule planning IS the loop's rng consumption.
+    """
+    if n == 0:
+        raise ValueError("cannot train on an empty dataset")
+    schedule: list[np.ndarray] = []
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        batches = [order[s : s + batch_size] for s in range(0, n, batch_size)]
+        if max_batches is not None:
+            while len(batches) < max_batches:
+                extra_order = rng.permutation(n)
+                batches.extend(
+                    extra_order[s : s + batch_size] for s in range(0, n, batch_size)
+                )
+            batches = batches[:max_batches]
+        schedule.extend(batches)
+    return schedule
 
 
 class Classifier:
@@ -146,6 +182,18 @@ class Classifier:
         """
         return self.net.fused_eval
 
+    @property
+    def supports_fused_train(self) -> bool:
+        """True when every layer has a fused multi-model *training* kernel.
+
+        The gate for the lockstep training plane
+        (:mod:`repro.nn.training_plane`): Dense/activation/reshape/
+        dropout stacks qualify; conv, LSTM, embedding, and pooling
+        layers do not, and models containing them train through the
+        automatic per-model fallback instead.
+        """
+        return self.net.fused_train
+
     def accuracy_many(
         self, flat_rows: np.ndarray, x: np.ndarray, y: np.ndarray, *, batch_size: int = 256
     ) -> np.ndarray:
@@ -203,12 +251,13 @@ class Classifier:
     # ----------------------------------------------------------- training
     def train_batch(self, x: np.ndarray, y: np.ndarray, optimizer: SGD) -> float:
         """One optimizer step on a single batch; returns the batch loss."""
-        # Backward passes accumulate into the grad buffers; sanitize them
-        # here, the one place they are consumed.  (Optimizers also zero
-        # after each step, so this is a no-op between consecutive batches
-        # — it exists so interleaved weight loads never have to.)
+        # Backward passes accumulate into the grad buffers; zero them
+        # here, the one place they are consumed.  This is the *only*
+        # zeroing per batch — optimizers deliberately leave gradients in
+        # place after a step, so neither interleaved weight loads nor
+        # optimizer steps pay a redundant O(P) clearing pass.
         for param in self._params:
-            param.grad.fill(0.0)
+            param.zero_grad()
         logits = self.net.forward(x, train=True)
         loss, grad = softmax_cross_entropy(logits, y)
         self.net.backward(grad)
@@ -234,25 +283,20 @@ class Classifier:
         shuffling; when the dataset is smaller than the batch budget the
         shuffled data is recycled.  Returns the mean batch loss across the
         whole call.
+
+        The schedule comes from :func:`plan_local_batches`, the shared
+        planner the lockstep training plane also uses — so fused and
+        sequential training see identical batches for identical rng
+        state.
         """
-        n = x.shape[0]
-        if n == 0:
-            raise ValueError("cannot train on an empty dataset")
-        losses: list[float] = []
-        for _ in range(epochs):
-            order = rng.permutation(n)
-            batch_starts = range(0, n, batch_size)
-            batches = [order[s : s + batch_size] for s in batch_starts]
-            if max_batches is not None:
-                while len(batches) < max_batches:
-                    extra_order = rng.permutation(n)
-                    batches.extend(
-                        extra_order[s : s + batch_size]
-                        for s in range(0, n, batch_size)
-                    )
-                batches = batches[:max_batches]
-            for idx in batches:
-                losses.append(self.train_batch(x[idx], y[idx], optimizer))
+        batches = plan_local_batches(
+            x.shape[0],
+            rng,
+            epochs=epochs,
+            batch_size=batch_size,
+            max_batches=max_batches,
+        )
+        losses = [self.train_batch(x[idx], y[idx], optimizer) for idx in batches]
         return float(np.mean(losses))
 
     def clone_initial_weights(self) -> Weights:

@@ -5,6 +5,13 @@ proximal pull ``mu * (w - w_ref)`` towards the weights received from the
 server at the start of the round.  ``Adam`` is provided for users who
 extend the library beyond the paper's plain-SGD setting.  All optimizers
 support global-norm gradient clipping (useful for LSTM stability).
+
+Gradient lifecycle: optimizers *consume* ``Parameter.grad`` and leave it
+in place — gradients are zeroed where they are consumed next (at the top
+of :meth:`Classifier.train_batch <repro.nn.model.Classifier.train_batch>`,
+before a backward pass accumulates), never redundantly after a step.
+Callers driving ``step`` by hand must zero gradients between steps
+themselves.
 """
 
 from __future__ import annotations
@@ -45,13 +52,13 @@ class SGD:
         self._velocity: dict[int, np.ndarray] = {}
 
     def step(self, params: list[Parameter]) -> None:
-        """Apply one update and clear gradients."""
+        """Apply one update; gradients are left in place (zeroed where
+        consumed, not here — see the module docstring)."""
         if self.clip_norm is not None:
             clip_gradients(params, self.clip_norm)
         for param in params:
             update = self._direction(param)
             param.value -= self.lr * update
-            param.zero_grad()
 
     def _direction(self, param: Parameter) -> np.ndarray:
         grad = param.grad
@@ -123,7 +130,7 @@ class Adam:
         self._t = 0
 
     def step(self, params: list[Parameter]) -> None:
-        """Apply one Adam update and clear gradients."""
+        """Apply one Adam update; gradients are left in place."""
         if self.clip_norm is not None:
             clip_gradients(params, self.clip_norm)
         self._t += 1
@@ -143,4 +150,3 @@ class Adam:
             m_hat = m / bias1
             v_hat = v / bias2
             param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
-            param.zero_grad()

@@ -13,8 +13,9 @@ class Parameter:
     Layers expose their parameters through :meth:`Layer.parameters`;
     optimizers read ``grad`` and update ``value`` in place.  The gradient is
     accumulated by layer ``backward`` passes and must be cleared (via
-    :meth:`zero_grad`) between optimization steps — optimizers do this
-    automatically after applying an update.
+    :meth:`zero_grad`) between optimization steps — ``train_batch`` does
+    this exactly once per batch, at the point of consumption (before the
+    backward pass accumulates); optimizers leave gradients in place.
     """
 
     __slots__ = ("name", "value", "grad")

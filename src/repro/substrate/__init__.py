@@ -17,6 +17,11 @@ results for a fixed seed.
 - :mod:`repro.substrate.round_plan` — picklable work units, the shared
   :class:`RoundContext`, :func:`execute_unit`, and the state-delta
   machinery that folds worker results back into coordinator clients.
+  :func:`run_training_plane_round` is the lockstep-training variant of a
+  round: per-client walk/aggregation units (:func:`execute_prep_unit`)
+  through any executor, then one fused local-SGD pass across all
+  participants (:mod:`repro.nn.training_plane`), then per-client
+  finalization — bit-identical to mapping :func:`execute_unit`.
 
 See ``docs/architecture.md`` for the layer map and a walkthrough of one
 round through this substrate.
@@ -31,13 +36,16 @@ from repro.substrate.executor import (
     make_executor,
 )
 from repro.substrate.round_plan import (
+    ClientPrepResult,
     ClientRoundResult,
     ClientStateDelta,
     ClientWorkUnit,
     RoundContext,
     apply_result,
     build_selector,
+    execute_prep_unit,
     execute_unit,
+    run_training_plane_round,
 )
 
 __all__ = [
@@ -49,9 +57,12 @@ __all__ = [
     "make_executor",
     "ClientWorkUnit",
     "ClientStateDelta",
+    "ClientPrepResult",
     "ClientRoundResult",
     "RoundContext",
     "build_selector",
     "execute_unit",
+    "execute_prep_unit",
     "apply_result",
+    "run_training_plane_round",
 ]

@@ -46,7 +46,9 @@ from repro.dag.tip_selection import (
 )
 from repro.fl.aggregation import FLAT_AGGREGATORS, get_aggregator
 from repro.fl.config import DagConfig
+from repro.nn.model import plan_local_batches
 from repro.nn.serialization import flatten_weights
+from repro.nn.training_plane import LockstepTrainer, TrainJob
 from repro.utils.rng import RngFactory
 from repro.utils.timing import Stopwatch
 
@@ -57,10 +59,13 @@ __all__ = [
     "ClientWorkUnit",
     "ClientStateDelta",
     "ClientRoundResult",
+    "ClientPrepResult",
     "RoundContext",
     "build_selector",
     "execute_unit",
+    "execute_prep_unit",
     "apply_result",
+    "run_training_plane_round",
 ]
 
 
@@ -223,21 +228,19 @@ def _execute_attack(
     )
 
 
-def execute_unit(payload: tuple[RoundContext, "Client | None", ClientWorkUnit]) -> ClientRoundResult:
-    """Run one work unit; pure apart from mutating the given client.
+def _run_walk_phase(
+    context: RoundContext, client: "Client", walk_rng: np.random.Generator
+) -> tuple[list[str], list[np.ndarray], float, float | None, int]:
+    """The pre-training half of a unit, shared by both round shapes.
 
-    Takes a single ``(context, client, unit)`` tuple so executors can map
-    it directly (``client`` is ``None`` for attack units, which carry no
-    client state).
+    Tip selection, parent aggregation (with the client's personal tail
+    grafted on), and the reference (publish-gate baseline) evaluation.
+    Returns ``(tips, reference_weights, reference_accuracy,
+    walk_duration, walk_evaluations)``.  :func:`execute_unit` and
+    :func:`execute_prep_unit` both run exactly this code, so the
+    ``training_plane`` knob cannot drift the walk half of a round.
     """
-    context, client, unit = payload
     config = context.config
-    walk_rng = context.rng_factory.get("walk", unit.round_index, unit.client_id)
-
-    if unit.attack is not None:
-        return _execute_attack(context, unit, walk_rng)
-    assert client is not None
-
     evaluations = 0
 
     def count(candidates: int) -> None:
@@ -253,6 +256,27 @@ def execute_unit(payload: tuple[RoundContext, "Client | None", ClientWorkUnit]) 
         _aggregate_parents(context, tips, config, client)
     )
     reference_accuracy = client.accuracy_of_weights(reference)
+    return tips, reference, reference_accuracy, stopwatch.elapsed, evaluations
+
+
+def execute_unit(payload: tuple[RoundContext, "Client | None", ClientWorkUnit]) -> ClientRoundResult:
+    """Run one work unit; pure apart from mutating the given client.
+
+    Takes a single ``(context, client, unit)`` tuple so executors can map
+    it directly (``client`` is ``None`` for attack units, which carry no
+    client state).
+    """
+    context, client, unit = payload
+    config = context.config
+    walk_rng = context.rng_factory.get("walk", unit.round_index, unit.client_id)
+
+    if unit.attack is not None:
+        return _execute_attack(context, unit, walk_rng)
+    assert client is not None
+
+    tips, reference, reference_accuracy, walk_duration, evaluations = (
+        _run_walk_phase(context, client, walk_rng)
+    )
 
     trained, _train_loss = client.train(reference)
     client.update_personal_tail(trained)
@@ -276,10 +300,18 @@ def execute_unit(payload: tuple[RoundContext, "Client | None", ClientWorkUnit]) 
         reference_accuracy=reference_accuracy,
         test_accuracy=test_accuracy,
         test_loss=test_loss,
-        walk_duration=stopwatch.elapsed,
+        walk_duration=walk_duration,
         walk_evaluations=evaluations,
         state=state,
     )
+
+
+def _apply_state_delta(client: "Client", delta: ClientStateDelta) -> None:
+    """Transfer a worker copy's advanced state onto the canonical client."""
+    client.rng.bit_generator.state = delta.rng_state
+    client.restore_tx_accuracy_cache(delta.tx_accuracy_cache)
+    client.evaluations = delta.evaluations
+    client.personal_tail = delta.personal_tail
 
 
 def apply_result(client: "Client", result: ClientRoundResult) -> None:
@@ -290,10 +322,185 @@ def apply_result(client: "Client", result: ClientRoundResult) -> None:
     advanced rng stream, warmed evaluation cache, evaluation count, and
     personal tail.
     """
-    delta = result.state
-    if delta is None:
-        return
-    client.rng.bit_generator.state = delta.rng_state
-    client.restore_tx_accuracy_cache(delta.tx_accuracy_cache)
-    client.evaluations = delta.evaluations
-    client.personal_tail = delta.personal_tail
+    if result.state is not None:
+        _apply_state_delta(client, result.state)
+
+
+# --------------------------------------------------------------------------
+# Training-plane rounds: walk per client, train in lockstep, finalize.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ClientPrepResult:
+    """Everything an honest unit produces *before* local training.
+
+    The training-plane round splits :func:`execute_unit` at the training
+    boundary: walks, parent aggregation, and the reference evaluation
+    stay per-client (and keep parallelizing across workers); local
+    training then runs on the coordinator in fused lockstep supersteps
+    over the stacked reference weights.  ``reference_flat`` is the
+    client's post-personalization starting point as one float64 vector —
+    the row the lockstep ``(K, P)`` stack is assembled from.
+
+    Attack units never train, so their prep carries the finished
+    :class:`ClientRoundResult` in ``attack_result`` instead.
+    """
+
+    client_id: int
+    attack_result: ClientRoundResult | None = None
+    tips: tuple[str, ...] = ()
+    reference_flat: np.ndarray | None = None
+    reference_accuracy: float | None = None
+    walk_duration: float | None = None
+    walk_evaluations: int | None = None
+    state: ClientStateDelta | None = None
+
+
+def execute_prep_unit(
+    payload: tuple[RoundContext, "Client | None", ClientWorkUnit]
+) -> ClientPrepResult:
+    """The walk/aggregation half of :func:`execute_unit`.
+
+    Performs tip selection, parent aggregation, and the reference
+    (publish-gate baseline) evaluation — everything up to, but not
+    including, local training.  It runs literally the same code as the
+    first half of :func:`execute_unit` (:func:`_run_walk_phase`), and
+    the walk rng is factory-keyed while the client's shuffle rng is
+    untouched here, so splitting the unit cannot shift any stream.
+    """
+    context, client, unit = payload
+    walk_rng = context.rng_factory.get("walk", unit.round_index, unit.client_id)
+
+    if unit.attack is not None:
+        return ClientPrepResult(
+            client_id=unit.client_id,
+            attack_result=_execute_attack(context, unit, walk_rng),
+        )
+    assert client is not None
+
+    tips, reference, reference_accuracy, walk_duration, evaluations = (
+        _run_walk_phase(context, client, walk_rng)
+    )
+
+    state = None
+    if context.capture_state:
+        state = ClientStateDelta(
+            rng_state=client.rng.bit_generator.state,
+            tx_accuracy_cache=client.tx_accuracy_cache(),
+            evaluations=client.evaluations,
+            personal_tail=client.personal_tail,
+        )
+    return ClientPrepResult(
+        client_id=unit.client_id,
+        tips=tuple(tips),
+        reference_flat=client.model.flat_spec.flatten(reference),
+        reference_accuracy=reference_accuracy,
+        walk_duration=walk_duration,
+        walk_evaluations=evaluations,
+        state=state,
+    )
+
+
+def run_training_plane_round(
+    executor,
+    context: RoundContext,
+    payloads: list[tuple[RoundContext, "Client | None", ClientWorkUnit]],
+    clients: dict[int, "Client"],
+) -> list[ClientRoundResult]:
+    """One round with lockstep local training; drop-in for the
+    ``executor.map(execute_unit, payloads)`` call.
+
+    Three phases:
+
+    1. **Prep** — :func:`execute_prep_unit` per unit through the given
+       executor (walks and reference evaluations parallelize exactly as
+       whole units did); worker state deltas fold into the canonical
+       clients immediately, because phase 2 consumes their rng streams.
+    2. **Lockstep training** — jobs are planned in active-client order
+       (consuming each client's shuffle rng exactly as ``train_local``
+       would), grouped by shared model and optimizer configuration, and
+       advanced by :class:`~repro.nn.training_plane.LockstepTrainer` in
+       fused supersteps.  Mixed-architecture rounds simply form one
+       group per model; unfused models fall back per model inside the
+       trainer.
+    3. **Finalize** — per client in order: personal-tail update, test
+       evaluation of the trained row, publish gate — producing the same
+       :class:`ClientRoundResult` fields, bit for bit, as
+       :func:`execute_unit`.
+
+    Because lockstep training is bit-identical to the per-client loop,
+    the round's results are identical to the non-plane path no matter
+    which executor ran phase 1.  The returned results carry no state
+    deltas (phases 2-3 already ran on the canonical clients).
+    """
+    preps = executor.map(execute_prep_unit, payloads)
+    for payload, prep in zip(payloads, preps):
+        unit = payload[2]
+        if unit.attack is None and prep.state is not None:
+            _apply_state_delta(clients[prep.client_id], prep.state)
+
+    # Plan jobs in active order; group by model so mixed-architecture
+    # rounds fuse what they can, per model.  Dropout stream order is
+    # client-major *across* a model's whole job list, so all of a
+    # model's jobs must go through ONE trainer call — jobs carry their
+    # own optimizer config, and fusion within the call requires it to
+    # be uniform across the fused rows.
+    model_jobs: dict[int, tuple] = {}  # id(model) -> (model, jobs)
+    for index, (payload, prep) in enumerate(zip(payloads, preps)):
+        if payload[2].attack is not None:
+            continue
+        client = clients[prep.client_id]
+        train_config = client.config
+        batches = plan_local_batches(
+            client.data.x_train.shape[0],
+            client.rng,
+            epochs=train_config.local_epochs,
+            batch_size=train_config.batch_size,
+            max_batches=train_config.local_batches,
+        )
+        job = TrainJob(
+            x=client.data.x_train,
+            y=client.data.y_train,
+            batches=batches,
+            start_flat=prep.reference_flat,
+            tag=index,
+            lr=train_config.learning_rate,
+            momentum=train_config.momentum,
+        )
+        model_jobs.setdefault(id(client.model), (client.model, []))[1].append(job)
+
+    trained: dict[int, tuple[np.ndarray, float]] = {}
+    for model, jobs in model_jobs.values():
+        trainer = LockstepTrainer(lr=jobs[0].lr, momentum=jobs[0].momentum)
+        for job, outcome in zip(jobs, trainer.train(model, jobs)):
+            trained[job.tag] = outcome
+
+    config = context.config
+    results: list[ClientRoundResult] = []
+    for index, (payload, prep) in enumerate(zip(payloads, preps)):
+        if payload[2].attack is not None:
+            assert prep.attack_result is not None
+            results.append(prep.attack_result)
+            continue
+        client = clients[prep.client_id]
+        row, _train_loss = trained[index]
+        if client.personal_params:
+            client.update_personal_tail(client.model.flat_spec.unflatten(row))
+        test_loss, test_accuracy = client.evaluate_flat(row)
+        publish = (not config.publish_gate) or test_accuracy >= prep.reference_accuracy
+        results.append(
+            ClientRoundResult(
+                client_id=prep.client_id,
+                publish=publish,
+                parents=tuple(dict.fromkeys(prep.tips)) if publish else (),
+                flat_weights=row if publish else None,
+                tags=dict(client.data.metadata.get("tags", {})),
+                reference_accuracy=prep.reference_accuracy,
+                test_accuracy=test_accuracy,
+                test_loss=test_loss,
+                walk_duration=prep.walk_duration,
+                walk_evaluations=prep.walk_evaluations,
+            )
+        )
+    return results

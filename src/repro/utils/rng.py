@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RngFactory", "child_rng", "ensure_rng"]
+__all__ = ["RngFactory", "advance_rng", "child_rng", "clone_rng", "ensure_rng"]
 
 
 def ensure_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
@@ -23,6 +23,42 @@ def ensure_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Gener
     if isinstance(seed_or_rng, np.random.Generator):
         return seed_or_rng
     return np.random.default_rng(seed_or_rng)
+
+
+def clone_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Independent generator starting at ``rng``'s exact current state.
+
+    The clone and the original then evolve separately; neither advances
+    the other.  Used by the lockstep training plane to give each model
+    of a fused group its own dropout stream.
+    """
+    bit = type(rng.bit_generator)()
+    bit.state = rng.bit_generator.state
+    return np.random.Generator(bit)
+
+
+def advance_rng(rng: np.random.Generator, draws: int) -> np.random.Generator:
+    """Advance ``rng`` in place as if ``draws`` uniform doubles had been drawn.
+
+    numpy's ``Generator.random`` consumes exactly one 64-bit step per
+    double, so bit generators with an ``advance`` method (PCG64, the
+    ``default_rng`` family) jump in O(log n); anything else falls back to
+    drawing and discarding in chunks.  Returns ``rng`` for chaining.
+    """
+    if draws < 0:
+        raise ValueError(f"draws must be >= 0, got {draws}")
+    if draws == 0:
+        return rng
+    advance = getattr(rng.bit_generator, "advance", None)
+    if advance is not None:
+        advance(int(draws))
+        return rng
+    remaining = int(draws)
+    while remaining:
+        chunk = min(remaining, 1 << 16)
+        rng.random(chunk)
+        remaining -= chunk
+    return rng
 
 
 def child_rng(rng: np.random.Generator, *key: int | str) -> np.random.Generator:

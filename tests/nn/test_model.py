@@ -116,3 +116,36 @@ def test_predict_proba_rows_sum_to_one(model, rng):
 def test_parameter_count(model):
     # 8*12 + 12 + 12*3 + 3 = 96 + 12 + 36 + 3
     assert model.parameter_count == 147
+
+
+def test_gradients_zeroed_exactly_once_per_batch(model, rng, monkeypatch):
+    """Regression: gradients are zeroed at the single point of
+    consumption (the top of ``train_batch``); optimizers no longer
+    re-zero after their step, so each batch pays exactly one clearing
+    pass per parameter."""
+    from repro.nn.parameter import Parameter
+
+    x, y = toy_problem(rng, n=24)
+    calls: list[int] = []
+    original = Parameter.zero_grad
+
+    def counting_zero_grad(self):
+        calls.append(id(self))
+        original(self)
+
+    monkeypatch.setattr(Parameter, "zero_grad", counting_zero_grad)
+    batches = 3
+    model.train_local(
+        x, y, SGD(0.1), rng, epochs=1, batch_size=8, max_batches=batches
+    )
+    param_count = len(model.get_weights())
+    assert len(calls) == batches * param_count
+
+
+def test_optimizer_step_leaves_gradients_for_inspection(model, rng):
+    """After ``train_batch`` the grad buffers still hold the batch's
+    accumulated gradients (the optimizer consumed without clearing)."""
+    x, y = toy_problem(rng, n=8)
+    model.train_batch(x, y, SGD(0.1))
+    grads = [p.grad for p in model.net.parameters()]
+    assert any(np.any(g != 0.0) for g in grads)

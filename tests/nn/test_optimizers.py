@@ -19,11 +19,14 @@ def test_sgd_step():
     np.testing.assert_allclose(param.value, [0.95, 2.05])
 
 
-def test_sgd_clears_gradient_after_step():
+def test_sgd_leaves_gradient_in_place():
+    """Optimizers consume gradients without clearing them: zeroing
+    happens exactly once per batch, where the gradient is consumed
+    (``train_batch``), never redundantly after a step."""
     param = make_param([1.0])
     param.grad[:] = [1.0]
     SGD(0.1).step([param])
-    np.testing.assert_allclose(param.grad, 0.0)
+    np.testing.assert_allclose(param.grad, [1.0])
 
 
 def test_momentum_accumulates():
