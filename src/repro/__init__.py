@@ -11,6 +11,8 @@ Public API tour:
 - :mod:`repro.substrate` — the round-execution layer: serial or
   process-pool executors over per-client work units (the
   ``DagConfig.parallelism`` knob);
+- :mod:`repro.sim` — the event-driven simulator: latency models,
+  stragglers, churn, staleness policies, quantum-batched supersteps;
 - :mod:`repro.metrics` — modularity, Louvain, pureness, misclassification;
 - :mod:`repro.poisoning` — label-flip attacks and robustness metrics;
 - :mod:`repro.experiments` — one runner per table/figure of the paper.
@@ -35,7 +37,18 @@ Quickstart::
     records = sim.run(10)
 """
 
-from repro import dag, data, experiments, fl, metrics, nn, poisoning, substrate, utils
+from repro import (
+    dag,
+    data,
+    experiments,
+    fl,
+    metrics,
+    nn,
+    poisoning,
+    sim,
+    substrate,
+    utils,
+)
 
 __version__ = "1.1.0"
 
@@ -47,6 +60,7 @@ __all__ = [
     "metrics",
     "nn",
     "poisoning",
+    "sim",
     "substrate",
     "utils",
     "__version__",

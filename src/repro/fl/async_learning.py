@@ -145,9 +145,20 @@ class PublishEvent:
 
 @dataclass(order=True)
 class _ScheduledCycle:
+    """A queued training cycle; heap order is its declaration order.
+
+    Ties at equal ``finish_time`` break by **client id first**, then by
+    scheduling sequence number: two clients colliding on a timestamp
+    must pop in an order that depends only on *who* they are, never on
+    the incidental order their cycles were pushed — the same discipline
+    the event engine (:mod:`repro.sim`) applies to its whole queue, and
+    the reason round-style schedules (every client finishing at the
+    same instant) process clients in id order.
+    """
+
     finish_time: float
+    client_id: int
     seq: int
-    client_id: int = field(compare=False)
     start_time: float = field(compare=False)
 
 
@@ -229,7 +240,7 @@ class AsyncTangleLearning:
         finish = start + self._train_duration()
         heapq.heappush(
             self._queue,
-            _ScheduledCycle(finish, next(self._seq), client_id, start),
+            _ScheduledCycle(finish, client_id, next(self._seq), start),
         )
 
     # ------------------------------------------------------------- stepping

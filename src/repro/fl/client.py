@@ -107,6 +107,18 @@ class Client:
         self.evaluations += 1
         return self.model.accuracy(self.data.x_test, self.data.y_test)
 
+    def accuracy_of_flat(self, flat: np.ndarray) -> float:
+        """:meth:`accuracy_of_weights` for a flat weight vector.
+
+        The loss-free twin of :meth:`evaluate_flat`, used by the event
+        engine's publish gate on rows coming straight off the lockstep
+        ``(K, P)`` training stack — same forward pass and argmax as
+        ``accuracy_of_weights(spec.unflatten(flat))``, no per-layer list.
+        """
+        self.model.load_flat(flat)
+        self.evaluations += 1
+        return self.model.accuracy(self.data.x_test, self.data.y_test)
+
     def evaluate_flat(self, flat: np.ndarray) -> tuple[float, float]:
         """:meth:`evaluate_weights` for a flat weight vector.
 

@@ -42,7 +42,35 @@ from repro.nn.optimizers import SGD
 if TYPE_CHECKING:  # only for annotations; no runtime import cycle
     from repro.nn.model import Classifier
 
-__all__ = ["TrainJob", "LockstepTrainer"]
+__all__ = ["TrainJob", "LockstepTrainer", "train_grouped"]
+
+
+def train_grouped(
+    jobs_by_model: "list[tuple[Classifier, list[TrainJob]]]",
+) -> dict:
+    """Advance every model's whole job list in lockstep; tag -> (row, loss).
+
+    The one-superstep entry point shared by the round substrate
+    (:func:`repro.substrate.round_plan.run_training_plane_round`) and the
+    event-driven simulator (:mod:`repro.sim`): each ``(model, jobs)``
+    pair goes through **one** :meth:`LockstepTrainer.train` call — all of
+    a model's jobs must share that call because dropout stream order is
+    defined across the whole job list.  Jobs must carry their own
+    ``lr``/``momentum`` (the first job's values seed the trainer's
+    defaults) and a hashable ``tag`` identifying the result.
+    """
+    trained: dict = {}
+    for model, jobs in jobs_by_model:
+        if not jobs:
+            continue
+        if jobs[0].lr is None:
+            raise ValueError("train_grouped jobs must carry an explicit lr")
+        trainer = LockstepTrainer(
+            lr=jobs[0].lr, momentum=jobs[0].momentum or 0.0
+        )
+        for job, outcome in zip(jobs, trainer.train(model, jobs)):
+            trained[job.tag] = outcome
+    return trained
 
 
 @dataclass

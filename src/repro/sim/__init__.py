@@ -1,0 +1,41 @@
+"""repro.sim — the event-driven tangle simulator.
+
+One discrete-event engine (:class:`EventDrivenTangleLearning`) covers
+the spectrum between the repo's two fixed-schedule simulators:
+
+- at ``quantum = 0`` it *is* the asynchronous simulator — same rng
+  streams, same draw order, bit-identical publish traces under
+  :meth:`SimConfig.async_compat` (the parity suite pins this);
+- at ``quantum > 0`` cycles completing close together run as fused
+  supersteps (shared walk snapshots, one lockstep-training pass), the
+  shape that makes 1000-client scenarios a sequence of wide batches;
+- :meth:`EventDrivenTangleLearning.run_rounds` drives the round
+  substrate directly, reproducing ``TangleLearning`` records bit for
+  bit without churn.
+
+On top of the schedule the engine adds what a deployment study needs
+and rounds cannot express: per-client latency laws and compute rates
+(:class:`LatencyModel`, stragglers), mid-run membership churn
+(:class:`ChurnEvent`, :func:`random_churn`), and staleness-aware
+reference aggregation (:class:`StalenessPolicy`).  See
+``docs/architecture.md`` for the event lifecycle.
+"""
+
+from repro.sim.config import (
+    ChurnEvent,
+    LatencyModel,
+    SimConfig,
+    StalenessPolicy,
+    random_churn,
+)
+from repro.sim.engine import EventDrivenTangleLearning, SimEvent
+
+__all__ = [
+    "ChurnEvent",
+    "EventDrivenTangleLearning",
+    "LatencyModel",
+    "SimConfig",
+    "SimEvent",
+    "StalenessPolicy",
+    "random_churn",
+]

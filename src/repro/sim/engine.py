@@ -1,0 +1,826 @@
+"""The event-driven tangle simulator (the tentpole of :mod:`repro.sim`).
+
+:class:`EventDrivenTangleLearning` generalizes both existing simulators
+into one discrete-event engine over a priority queue of events:
+
+- **cycle** — a client's training cycle completes: tip selection over
+  the tangle as visible at the cycle's *start*, reference aggregation
+  (optionally staleness-weighted), local training, publish gate,
+  publication with a per-transaction propagation delay;
+- **join** / **leave** — mid-run churn from the configured schedule; a
+  leave cancels the client's outstanding cycle (it never publishes
+  after leaving), a join schedules a fresh one.
+
+The heap orders events by ``(time, kind, client id, push sequence)``
+with joins before leaves before cycles at equal timestamps, so the
+whole trace is a pure function of ``(seed, configs)`` and — because the
+client id outranks the push sequence — independent of the incidental
+order events entered the heap.
+
+Three operating regimes, selected by configuration rather than by
+separate code paths at the call sites:
+
+1. **Sequential** (``quantum = 0``) — pure discrete-event semantics,
+   one cycle at a time.  Under :meth:`SimConfig.async_compat` this
+   reproduces :class:`repro.fl.async_learning.AsyncTangleLearning`
+   draw for draw: same rng keys, same draw order, bit-identical
+   publish traces (the parity suite pins it).
+2. **Quantum-batched** (``quantum > 0``) — every cycle completing
+   within ``quantum`` of the next pending one is collected into a
+   superstep: the batch freezes one shared view (at the *earliest*
+   member's start time, so nobody sees anything it could not have seen
+   sequentially), all members' walk particles advance through **one**
+   :func:`repro.dag.walk_engine.lockstep_walks` call per view group
+   (weighted selector; the accuracy selector shares the CSR snapshot
+   but keeps per-client score tables, since its scores are evaluations
+   on the selecting client's own test data), local training runs as
+   **one** fused training-plane pass over the stacked references, and
+   publications commit at the batch barrier in event order.  This is
+   the same freeze-at-barrier semantics the round simulator applies at
+   round boundaries, with the quantum as a fidelity dial: as
+   ``quantum -> 0`` every batch is a single cycle and the semantics
+   degrade gracefully into regime 1.
+3. **Round-compat** (:meth:`run_rounds`) — drives the round substrate
+   (:func:`repro.substrate.execute_unit` /
+   :func:`repro.substrate.run_training_plane_round`) through the
+   engine's state, reproducing :class:`repro.fl.dag_learning.TangleLearning`
+   round records bit for bit when no churn is configured.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.dag import walk_engine
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import Transaction
+from repro.dag.view import TangleView
+from repro.data.base import FederatedDataset
+from repro.fl.aggregation import get_aggregator
+from repro.fl.async_learning import TimedTangleView
+from repro.fl.client import Client
+from repro.fl.config import DagConfig, TrainingConfig
+from repro.fl.records import RoundRecord
+from repro.nn.model import Classifier
+from repro.nn.training_plane import train_grouped
+from repro.sim.config import SimConfig
+from repro.substrate import (
+    ClientWorkUnit,
+    Executor,
+    RoundContext,
+    apply_result,
+    build_selector,
+    execute_unit,
+    make_executor,
+    plan_client_job,
+    run_training_plane_round,
+)
+from repro.utils.rng import RngFactory
+
+__all__ = ["EventDrivenTangleLearning", "SimEvent"]
+
+ModelBuilder = Callable[[np.random.Generator], Classifier]
+
+# Tie-break ranks at equal timestamps: membership changes resolve before
+# the cycles they affect — a client leaving at exactly its cycle's
+# finish time never publishes that cycle.
+_RANK = {"join": 0, "leave": 1, "cycle": 2}
+
+
+@dataclass(order=True)
+class _Event:
+    """A heap entry; comparison fields are exactly the declared order.
+
+    ``seq`` is a global push counter and the *last* tie-break: it can
+    only decide between events identical in time, kind, and client —
+    which makes the pop order invariant to heap insertion order.
+    """
+
+    time: float
+    rank: int
+    client_id: int
+    seq: int
+    kind: str = field(compare=False)
+    start_time: float = field(compare=False, default=0.0)
+    cycle_seq: int = field(compare=False, default=-1)
+    generation: int = field(compare=False, default=0)
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One processed event, as recorded in the engine's trace.
+
+    ``kind`` is ``"train"`` (a completed cycle; all optional fields
+    set), ``"join"``, or ``"leave"`` (membership changes; optional
+    fields ``None``).
+    """
+
+    time: float
+    kind: str
+    client_id: int
+    published: bool | None = None
+    accuracy: float | None = None
+    reference_accuracy: float | None = None
+    tx_id: str | None = None
+    start_time: float | None = None
+
+
+class EventDrivenTangleLearning:
+    """Event-driven simulator of the specializing DAG (see module doc).
+
+    Construction mirrors the other simulators exactly — same rng keys
+    (``"model-init"``, ``("client", id)``, ``"times"``, ``("walk",
+    seq)``), same shared-model client wiring — so the engine's state is
+    interchangeable with theirs for a fixed seed.  Scenario knobs
+    (latency laws, quantum, heterogeneity, churn, staleness) live in
+    :class:`repro.sim.config.SimConfig`.
+    """
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        model_builder: ModelBuilder,
+        train_config: TrainingConfig,
+        dag_config: DagConfig = DagConfig(),
+        *,
+        sim_config: SimConfig = SimConfig(),
+        seed: int = 0,
+    ):
+        self.dataset = dataset
+        self.dag_config = dag_config
+        self.sim_config = sim_config
+        self._rngs = RngFactory(seed)
+        self.model = model_builder(self._rngs.get("model-init"))
+        genesis_weights = self.model.get_weights()
+        self.tangle = Tangle(genesis_weights)
+        self.clients: dict[int, Client] = {
+            cd.client_id: Client(
+                cd, self.model, train_config, self._rngs.get("client", cd.client_id)
+            )
+            for cd in dataset.clients
+        }
+        if dag_config.personal_params > 0:
+            for client in self.clients.values():
+                client.enable_personalization(
+                    dag_config.personal_params, genesis_weights
+                )
+        self._aggregate = get_aggregator(dag_config.aggregator)
+
+        # Event times draw from the same dedicated stream as the async
+        # simulator; heterogeneity draws from its own "rates" stream so
+        # enabling it cannot shift event times.
+        self._time_rng = self._rngs.get("times")
+        self._rate: dict[int, float] = {cid: 1.0 for cid in self.clients}
+        rate_rng = self._rngs.get("rates")
+        if sim_config.rate_spread > 0:
+            for client_id in sorted(self.clients):
+                self._rate[client_id] = float(
+                    rate_rng.lognormal(0.0, sim_config.rate_spread)
+                )
+        self.stragglers: frozenset[int] = frozenset()
+        if sim_config.straggler_fraction > 0:
+            ids = sorted(self.clients)
+            count = int(round(sim_config.straggler_fraction * len(ids)))
+            if count:
+                chosen = rate_rng.choice(ids, size=min(count, len(ids)), replace=False)
+                self.stragglers = frozenset(int(c) for c in chosen)
+                for client_id in self.stragglers:
+                    self._rate[client_id] *= sim_config.straggler_slowdown
+
+        self._queue: list[_Event] = []
+        self._push_seq = itertools.count()
+        self._cycle_seq = itertools.count()  # walk-rng keys; cycles only
+        self._batch_seq = itertools.count()  # quantum supersteps
+        self.now = 0.0
+        self.events: list[SimEvent] = []
+        self._visible_from: dict[str, float] = {self.tangle.genesis.tx_id: 0.0}
+        self._published_at: dict[str, float] = {self.tangle.genesis.tx_id: 0.0}
+        # Per-client publication log (publish time, visible time, tx id):
+        # backs the issuer exemption when batching groups shared views.
+        self._own_publications: dict[int, list[tuple[float, float, str]]] = {}
+
+        # Membership: per-client generation counters implement lazy
+        # cancellation — a leave bumps the generation, orphaning any
+        # queued cycle (dropped when it surfaces).
+        self._generation: dict[int, int] = {cid: 0 for cid in self.clients}
+        if sim_config.initially_active is None:
+            self._active = set(self.clients)
+        else:
+            unknown = sim_config.initially_active - set(self.clients)
+            if unknown:
+                raise ValueError(f"unknown initially_active clients: {sorted(unknown)}")
+            self._active = set(sim_config.initially_active)
+        for event in sim_config.churn:
+            if event.client_id not in self.clients:
+                raise ValueError(f"churn references unknown client {event.client_id}")
+            heapq.heappush(
+                self._queue,
+                _Event(
+                    event.time,
+                    _RANK[event.action],
+                    event.client_id,
+                    next(self._push_seq),
+                    event.action,
+                ),
+            )
+        for client_id in sorted(self._active):
+            self._schedule_cycle(client_id)
+
+        self.round_index = 0
+        self.round_history: list[RoundRecord] = []
+        self._sampler: np.random.Generator | None = None
+        self._round_executor: Executor | None = None
+
+    # --------------------------------------------------------------- queries
+    @property
+    def active_clients(self) -> frozenset[int]:
+        """Clients currently participating (initial set plus churn)."""
+        return frozenset(self._active)
+
+    @property
+    def completed_cycles(self) -> int:
+        """Training cycles processed so far (published or not)."""
+        return sum(1 for event in self.events if event.kind == "train")
+
+    def close(self) -> None:
+        """Release round-mode executor resources, if any were created."""
+        if self._round_executor is not None:
+            self._round_executor.close()
+
+    def accuracy_timeline(self, bucket: float = 1.0) -> list[tuple[float, float]]:
+        """Mean trained-model accuracy per time bucket (train events)."""
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        buckets: dict[int, list[float]] = {}
+        for event in self.events:
+            if event.kind != "train":
+                continue
+            buckets.setdefault(int(event.time // bucket), []).append(event.accuracy)
+        return [
+            (index * bucket, float(np.mean(values)))
+            for index, values in sorted(buckets.items())
+        ]
+
+    # ------------------------------------------------------------ scheduling
+    def _schedule_cycle(self, client_id: int) -> None:
+        """Queue the client's next cycle: think delay, then training.
+
+        Draw order (think, then duration) matches the async simulator;
+        the per-client rate factor scales the duration outside the draw,
+        so heterogeneity leaves the stream itself untouched.
+        """
+        start = self.now + self.sim_config.think.sample(self._time_rng)
+        duration = self.sim_config.train.sample(self._time_rng) * self._rate[client_id]
+        heapq.heappush(
+            self._queue,
+            _Event(
+                start + duration,
+                _RANK["cycle"],
+                client_id,
+                next(self._push_seq),
+                "cycle",
+                start_time=start,
+                cycle_seq=next(self._cycle_seq),
+                generation=self._generation[client_id],
+            ),
+        )
+
+    def _stale(self, event: _Event) -> bool:
+        return event.kind == "cycle" and (
+            event.client_id not in self._active
+            or event.generation != self._generation[event.client_id]
+        )
+
+    def _peek(self) -> _Event | None:
+        """The next live event, discarding churn-cancelled cycles."""
+        while self._queue:
+            top = self._queue[0]
+            if self._stale(top):
+                heapq.heappop(self._queue)
+                continue
+            return top
+        return None
+
+    # --------------------------------------------------- membership (churn)
+    def _apply_join(self, event: _Event) -> SimEvent:
+        """Apply a join; the caller appends the returned record so that
+        ``self.events`` stays chronological even when batching defers
+        cycle commits past later churn pops."""
+        record = SimEvent(time=event.time, kind="join", client_id=event.client_id)
+        if event.client_id not in self._active:
+            self._active.add(event.client_id)
+            self._generation[event.client_id] += 1
+            self._schedule_cycle(event.client_id)
+        return record
+
+    def _apply_leave(self, event: _Event) -> SimEvent:
+        record = SimEvent(time=event.time, kind="leave", client_id=event.client_id)
+        if event.client_id in self._active:
+            self._active.discard(event.client_id)
+            # Orphan the outstanding cycle: the client never publishes
+            # work that finishes after it left.
+            self._generation[event.client_id] += 1
+        return record
+
+    # ------------------------------------------------------------ publishing
+    def _reference_weights(self, tips: list[str], at_time: float):
+        """Aggregate the selected parent models into the reference.
+
+        With staleness disabled this is exactly the configured
+        aggregator (the async simulator's arithmetic).  Otherwise each
+        parent's age at the cycle's *start* — when the client read the
+        tangle — maps through the policy to a normalized weight and the
+        reference is the weighted mean.
+        """
+        models = [self.tangle.get(t).model_weights for t in tips]
+        policy = self.sim_config.staleness
+        if policy.mode == "none":
+            return self._aggregate(models)
+        staleness = np.array(
+            [at_time - self._published_at[t] for t in tips], dtype=np.float64
+        )
+        weights = policy.weights(staleness)
+        return [
+            sum(w * layer for w, layer in zip(weights, layers))
+            for layers in zip(*models)
+        ]
+
+    def _publish(
+        self, client_id: int, parents: tuple[str, ...], flat: np.ndarray, tags: dict
+    ) -> str:
+        """Commit a transaction at ``self.now`` with a propagation delay."""
+        tx = Transaction.from_flat(
+            tx_id=self.tangle.next_tx_id(client_id),
+            parents=parents,
+            flat=flat,
+            spec=self.tangle.spec,
+            issuer=client_id,
+            round_index=int(self.now),  # coarse time bucket for analysis
+            tags=tags,
+        )
+        self.tangle.add(tx)
+        delay = self.sim_config.propagation.sample(self._time_rng)
+        self._published_at[tx.tx_id] = self.now
+        visible = self.now + delay
+        self._visible_from[tx.tx_id] = visible
+        self._own_publications.setdefault(client_id, []).append(
+            (self.now, visible, tx.tx_id)
+        )
+        return tx.tx_id
+
+    # --------------------------------------------------- sequential stepping
+    def _complete_cycle(self, event: _Event) -> SimEvent:
+        """One training cycle, the async simulator's exact sequence."""
+        client = self.clients[event.client_id]
+        cfg = self.dag_config
+        view = TimedTangleView(
+            self.tangle,
+            self._visible_from,
+            event.start_time,
+            observer=event.client_id,
+            published_at=self._published_at,
+        )
+        walk_rng = self._rngs.get("walk", event.cycle_seq)
+        selector = build_selector(client, self.tangle, cfg)
+        tips = selector.select_tips(view, cfg.num_tips, walk_rng)
+
+        reference = client.apply_personalization(
+            self._reference_weights(tips, event.start_time)
+        )
+        reference_accuracy = client.accuracy_of_weights(reference)
+        trained, _loss = client.train(reference, fused=cfg.training_plane)
+        client.update_personal_tail(trained)
+        accuracy = client.accuracy_of_weights(trained)
+
+        tx_id = None
+        published = (not cfg.publish_gate) or accuracy >= reference_accuracy
+        if published:
+            tx_id = self._publish(
+                event.client_id,
+                tuple(dict.fromkeys(tips)),
+                self.tangle.spec.flatten(trained),
+                dict(client.data.metadata.get("tags", {})),
+            )
+        record = SimEvent(
+            time=self.now,
+            kind="train",
+            client_id=event.client_id,
+            published=published,
+            accuracy=accuracy,
+            reference_accuracy=reference_accuracy,
+            tx_id=tx_id,
+            start_time=event.start_time,
+        )
+        self.events.append(record)
+        if event.client_id in self._active:
+            self._schedule_cycle(event.client_id)
+        return record
+
+    def _advance_one(self) -> SimEvent | None:
+        """Process the single next event of any kind; None when idle."""
+        if self._peek() is None:
+            return None
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        if event.kind == "join":
+            record = self._apply_join(event)
+        elif event.kind == "leave":
+            record = self._apply_leave(event)
+        else:
+            return self._complete_cycle(event)
+        self.events.append(record)
+        return record
+
+    def step(self) -> SimEvent:
+        """Process events until one training cycle completes.
+
+        Always single-cycle (ignores the quantum): the fine-grained
+        probe the parity and property suites drive the engine with.
+        """
+        while True:
+            record = self._advance_one()
+            if record is None:
+                raise RuntimeError("no scheduled events")
+            if record.kind == "train":
+                return record
+
+    # ----------------------------------------------------- batched stepping
+    def _collect_ready(
+        self, end_time: float
+    ) -> tuple[list[_Event], list[SimEvent | _Event]]:
+        """Pop the next superstep: churn applies inline (in time order),
+        cycles accumulate while they fall within ``quantum`` of the
+        first one.  Nothing published by these cycles is visible to any
+        of them — they were all popped before any commit.
+
+        Returns the cycle events plus the full pop sequence (churn
+        records interleaved with cycles); the commit phase walks the
+        latter so ``self.events`` stays chronological even though cycle
+        records are only materialized at the batch barrier."""
+        ready: list[_Event] = []
+        ordered: list[SimEvent | _Event] = []
+        window_end: float | None = None
+        while True:
+            top = self._peek()
+            if top is None or top.time > end_time:
+                break
+            if window_end is not None and top.time > window_end:
+                break
+            event = heapq.heappop(self._queue)
+            self.now = event.time
+            if event.kind == "join":
+                ordered.append(self._apply_join(event))
+                continue
+            if event.kind == "leave":
+                ordered.append(self._apply_leave(event))
+                continue
+            if window_end is None:
+                window_end = event.time + self.sim_config.quantum
+            ready.append(event)
+            ordered.append(event)
+        return ready, ordered
+
+    def _batch_tips(self, ready: list[_Event]) -> dict[int, list[str]]:
+        """The superstep's walk phase: tips per cycle (by cycle_seq).
+
+        Members group by their issuer-exemption set — almost always
+        empty, so the common case is **one** shared group per batch.  A
+        group freezes one view at its earliest member's start time (no
+        member observes anything it could not have seen sequentially)
+        and shares one CSR snapshot:
+
+        - *weighted*: cumulative weights are client-independent, so all
+          members' particles advance through a single fused
+          :func:`~repro.dag.walk_engine.lockstep_walks` call;
+        - *accuracy*: scores are the candidates' accuracies on the
+          selecting client's own test data — inherently per client — so
+          walks run per member over the shared snapshot, each seeded
+          from the client's evaluation cache;
+        - *random*: uniform draws over the shared tip list, per member.
+        """
+        cfg = self.dag_config
+        batch = next(self._batch_seq)
+        groups: dict[frozenset, list[_Event]] = {}
+        for event in ready:
+            own = self._own_publications.get(event.client_id, ())
+            exempt = frozenset(
+                tx_id
+                for published, visible, tx_id in own
+                if published <= event.start_time < visible
+            )
+            groups.setdefault(exempt, []).append(event)
+
+        tips_for: dict[int, list[str]] = {}
+        for ordinal, (exempt, members) in enumerate(groups.items()):
+            view_time = min(member.start_time for member in members)
+            # A non-empty exemption set names one issuer's own
+            # transactions, so such a group is necessarily single-client.
+            observer = members[0].client_id if exempt else None
+            view = TimedTangleView(
+                self.tangle,
+                self._visible_from,
+                view_time,
+                observer=observer,
+                published_at=self._published_at,
+            )
+            if cfg.selector == "random":
+                tip_ids = view.tips()
+                for member in members:
+                    rng = self._rngs.get("walk", member.cycle_seq)
+                    distinct = min(cfg.num_tips, len(tip_ids))
+                    chosen = list(rng.choice(len(tip_ids), size=distinct, replace=False))
+                    selected = [tip_ids[i] for i in chosen]
+                    while len(selected) < cfg.num_tips:
+                        selected.append(tip_ids[int(rng.integers(0, len(tip_ids)))])
+                    tips_for[member.cycle_seq] = selected
+                continue
+            snapshot = walk_engine.TangleSnapshot.build(view)
+            if cfg.selector == "weighted":
+                weights = snapshot.cumulative_weights_float()
+                rng = self._rngs.get("walk-group", batch, ordinal)
+                starts = walk_engine.batched_walk_starts(
+                    snapshot,
+                    cfg.num_tips * len(members),
+                    rng,
+                    depth_range=cfg.depth_range,
+                )
+                finals = walk_engine.lockstep_walks(
+                    snapshot,
+                    starts,
+                    lambda nodes, table=weights: table[nodes],
+                    alpha=cfg.weighted_alpha,
+                    normalization="standard",
+                    rng=rng,
+                    score_memo=weights,
+                )
+                for i, member in enumerate(members):
+                    span = finals[i * cfg.num_tips : (i + 1) * cfg.num_tips]
+                    tips_for[member.cycle_seq] = [snapshot.ids[n] for n in span]
+                continue
+            for member in members:
+                client = self.clients[member.client_id]
+                rng = self._rngs.get("walk", member.cycle_seq)
+                cache = client.tx_accuracy_cache()
+                memo = np.array(
+                    [cache.get(tx_id, np.nan) for tx_id in snapshot.ids]
+                )
+                starts = walk_engine.batched_walk_starts(
+                    snapshot, cfg.num_tips, rng, depth_range=cfg.depth_range
+                )
+
+                def score_fn(nodes, client=client, snapshot=snapshot):
+                    return client.tx_accuracies(
+                        self.tangle, [snapshot.ids[n] for n in nodes]
+                    )
+
+                finals = walk_engine.lockstep_walks(
+                    snapshot,
+                    starts,
+                    score_fn,
+                    alpha=cfg.alpha,
+                    normalization=cfg.normalization,
+                    rng=rng,
+                    score_memo=memo,
+                )
+                tips_for[member.cycle_seq] = [snapshot.ids[n] for n in finals]
+        return tips_for
+
+    def _process_batch(
+        self, ready: list[_Event], ordered: list[SimEvent | _Event]
+    ) -> list[SimEvent]:
+        """Run one superstep: walks, one fused training pass, commits.
+
+        Phases run over the whole batch, but everything that consumes a
+        per-client stream (batch planning via the client's shuffle rng)
+        or mutates shared state (publication) iterates in pop order —
+        which is also per-cycle time order, so commits replay exactly
+        the sequence a finer quantum would produce."""
+        if not ready:
+            for entry in ordered:  # churn-only superstep
+                self.now = entry.time
+                self.events.append(entry)
+            return []
+        cfg = self.dag_config
+        tips_for = self._batch_tips(ready)
+
+        reference_accuracy: dict[int, float] = {}
+        model_jobs: dict[int, tuple] = {}  # id(model) -> (model, jobs)
+        for index, event in enumerate(ready):
+            client = self.clients[event.client_id]
+            reference = client.apply_personalization(
+                self._reference_weights(tips_for[event.cycle_seq], event.start_time)
+            )
+            reference_accuracy[index] = client.accuracy_of_weights(reference)
+            job = plan_client_job(
+                client, client.model.flat_spec.flatten(reference), index
+            )
+            model_jobs.setdefault(id(client.model), (client.model, []))[1].append(job)
+
+        # One lockstep training-plane pass for the whole superstep.
+        trained = train_grouped(list(model_jobs.values()))
+
+        records: list[SimEvent] = []
+        index = -1
+        for entry in ordered:
+            if isinstance(entry, SimEvent):  # churn popped mid-window
+                self.now = entry.time
+                self.events.append(entry)
+                continue
+            event = entry
+            index += 1
+            client = self.clients[event.client_id]
+            row, _loss = trained[index]
+            if client.personal_params:
+                client.update_personal_tail(client.model.flat_spec.unflatten(row))
+            accuracy = client.accuracy_of_flat(row)
+            published = (not cfg.publish_gate) or accuracy >= reference_accuracy[index]
+            self.now = event.time
+            tx_id = None
+            if published:
+                tx_id = self._publish(
+                    event.client_id,
+                    tuple(dict.fromkeys(tips_for[event.cycle_seq])),
+                    row,
+                    dict(client.data.metadata.get("tags", {})),
+                )
+            record = SimEvent(
+                time=event.time,
+                kind="train",
+                client_id=event.client_id,
+                published=published,
+                accuracy=accuracy,
+                reference_accuracy=reference_accuracy[index],
+                tx_id=tx_id,
+                start_time=event.start_time,
+            )
+            self.events.append(record)
+            records.append(record)
+            if event.client_id in self._active:
+                self._schedule_cycle(event.client_id)
+        return records
+
+    def _run_one_batch(self, end_time: float) -> list[SimEvent] | None:
+        """One superstep up to ``end_time``; ``None`` when nothing fired
+        at all (an empty list means churn-only progress)."""
+        ready, ordered = self._collect_ready(end_time)
+        if not ordered:
+            return None
+        return self._process_batch(ready, ordered)
+
+    # ----------------------------------------------------------- run drivers
+    def run_until(self, end_time: float) -> list[SimEvent]:
+        """Process all events up to ``end_time``; returns train events."""
+        processed: list[SimEvent] = []
+        if self.sim_config.quantum > 0:
+            while True:
+                batch = self._run_one_batch(end_time)
+                if batch is None:
+                    break
+                processed.extend(batch)
+        else:
+            while (top := self._peek()) is not None and top.time <= end_time:
+                record = self._advance_one()
+                if record.kind == "train":
+                    processed.append(record)
+        self.now = max(self.now, end_time)
+        return processed
+
+    def run_cycles(self, count: int) -> list[SimEvent]:
+        """Process at least ``count`` training cycles.
+
+        Sequential mode processes exactly ``count``; quantum-batched
+        mode completes the superstep containing the ``count``-th cycle,
+        so it may overshoot."""
+        if self.sim_config.quantum <= 0:
+            return [self.step() for _ in range(count)]
+        processed: list[SimEvent] = []
+        while len(processed) < count:
+            batch = self._run_one_batch(float("inf"))
+            if batch is None:
+                raise RuntimeError("no scheduled events")
+            processed.extend(batch)
+        return processed
+
+    # ---------------------------------------------------------- round compat
+    def run_rounds(self, rounds: int, clients_per_round: int = 10) -> list[RoundRecord]:
+        """Drive ``rounds`` discrete rounds through the round substrate.
+
+        The round schedule is the degenerate event schedule whose
+        quantum spans a whole round and whose latency is the round
+        barrier, so the engine runs it with the exact machinery of
+        :class:`repro.fl.dag_learning.TangleLearning` —
+        :func:`~repro.substrate.execute_unit` /
+        :func:`~repro.substrate.run_training_plane_round` over a frozen
+        view, ids assigned at the barrier in active-client order.
+        Without churn the produced :class:`RoundRecord` sequence is
+        bit-identical to ``TangleLearning.run`` for the same seed.
+
+        Each round advances ``now`` by one time unit; publications
+        become network-visible at the barrier (no propagation draws, so
+        the ``"times"`` stream is untouched — exactly like the round
+        simulator, which has no such stream at all).  Churn events up
+        to the round's start apply before sampling; queued cycle events
+        are not consumed here (the regimes are not meant to interleave
+        within one run).
+        """
+        return [self._run_round(clients_per_round) for _ in range(rounds)]
+
+    def _run_round(self, clients_per_round: int) -> RoundRecord:
+        self.now = float(self.round_index)
+        while (top := self._peek()) is not None and (
+            top.time <= self.now and top.kind != "cycle"
+        ):
+            self._advance_one()
+        if self._sampler is None:
+            self._sampler = self._rngs.get("round-sampler")
+        if self._round_executor is None:
+            self._round_executor = make_executor(self.dag_config.parallelism)
+
+        eligible = sorted(self._active)
+        active_ids = sorted(
+            self._sampler.choice(
+                eligible, size=min(clients_per_round, len(eligible)), replace=False
+            ).tolist()
+        )
+        record = RoundRecord(round_index=self.round_index, active_clients=active_ids)
+        route_probe = getattr(self._round_executor, "will_run_in_process", None)
+        in_process = (
+            route_probe(len(active_ids))
+            if route_probe is not None
+            else getattr(self._round_executor, "shares_memory", False)
+        )
+        delay = self.dag_config.visibility_delay
+        view = (
+            self.tangle
+            if delay <= 0
+            else TangleView(self.tangle, self.round_index - 1 - delay)
+        )
+        context = RoundContext(
+            view=view,
+            config=self.dag_config,
+            rng_factory=self._rngs,
+            capture_state=not in_process,
+        )
+        units = [
+            ClientWorkUnit(client_id=client_id, round_index=self.round_index)
+            for client_id in active_ids
+        ]
+        payloads = [(context, self.clients[unit.client_id], unit) for unit in units]
+        if self.dag_config.training_plane:
+            results = run_training_plane_round(
+                self._round_executor, context, payloads, self.clients
+            )
+        else:
+            results = self._round_executor.map(execute_unit, payloads)
+
+        barrier_time = float(self.round_index + 1)
+        self.now = barrier_time
+        for result in results:
+            client_id = result.client_id
+            apply_result(self.clients[client_id], result)
+            record.walk_duration[client_id] = result.walk_duration
+            record.walk_evaluations[client_id] = result.walk_evaluations
+            record.reference_accuracy[client_id] = result.reference_accuracy
+            record.client_accuracy[client_id] = result.test_accuracy
+            record.client_loss[client_id] = result.test_loss
+            tx_id = None
+            if result.publish:
+                tx = Transaction.from_flat(
+                    tx_id=self.tangle.next_tx_id(client_id),
+                    parents=result.parents,
+                    flat=result.flat_weights,
+                    spec=self.tangle.spec,
+                    issuer=client_id,
+                    round_index=self.round_index,
+                    tags=result.tags,
+                )
+                self.tangle.add(tx)
+                record.published.append(tx.tx_id)
+                tx_id = tx.tx_id
+                # Barrier visibility: published and network-visible at
+                # the round boundary, keeping the timed maps coherent.
+                self._published_at[tx_id] = barrier_time
+                self._visible_from[tx_id] = barrier_time
+                self._own_publications.setdefault(client_id, []).append(
+                    (barrier_time, barrier_time, tx_id)
+                )
+            self.events.append(
+                SimEvent(
+                    time=barrier_time,
+                    kind="train",
+                    client_id=client_id,
+                    published=result.publish,
+                    accuracy=result.test_accuracy,
+                    reference_accuracy=result.reference_accuracy,
+                    tx_id=tx_id,
+                    start_time=float(self.round_index),
+                )
+            )
+        self.round_index += 1
+        self.round_history.append(record)
+        return record

@@ -45,6 +45,7 @@ from repro.substrate.round_plan import (
     build_selector,
     execute_prep_unit,
     execute_unit,
+    plan_client_job,
     run_training_plane_round,
 )
 
@@ -64,5 +65,6 @@ __all__ = [
     "execute_unit",
     "execute_prep_unit",
     "apply_result",
+    "plan_client_job",
     "run_training_plane_round",
 ]

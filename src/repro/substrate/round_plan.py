@@ -48,7 +48,7 @@ from repro.fl.aggregation import FLAT_AGGREGATORS, get_aggregator
 from repro.fl.config import DagConfig
 from repro.nn.model import plan_local_batches
 from repro.nn.serialization import flatten_weights
-from repro.nn.training_plane import LockstepTrainer, TrainJob
+from repro.nn.training_plane import TrainJob, train_grouped
 from repro.utils.rng import RngFactory
 from repro.utils.timing import Stopwatch
 
@@ -65,6 +65,7 @@ __all__ = [
     "execute_unit",
     "execute_prep_unit",
     "apply_result",
+    "plan_client_job",
     "run_training_plane_round",
 ]
 
@@ -402,6 +403,35 @@ def execute_prep_unit(
     )
 
 
+def plan_client_job(client: "Client", start_flat: np.ndarray, tag: object) -> TrainJob:
+    """One client's local training as a lockstep :class:`TrainJob`.
+
+    Planning the batch schedule here is deliberate — it consumes the
+    client's shuffle rng exactly as ``train_local`` would, so callers
+    must plan jobs in the same order the sequential path would train
+    them.  Shared by the round substrate and the event-driven simulator
+    (:mod:`repro.sim`), whose supersteps stack these jobs per model into
+    one :func:`repro.nn.training_plane.train_grouped` call.
+    """
+    train_config = client.config
+    batches = plan_local_batches(
+        client.data.x_train.shape[0],
+        client.rng,
+        epochs=train_config.local_epochs,
+        batch_size=train_config.batch_size,
+        max_batches=train_config.local_batches,
+    )
+    return TrainJob(
+        x=client.data.x_train,
+        y=client.data.y_train,
+        batches=batches,
+        start_flat=start_flat,
+        tag=tag,
+        lr=train_config.learning_rate,
+        momentum=train_config.momentum,
+    )
+
+
 def run_training_plane_round(
     executor,
     context: RoundContext,
@@ -451,30 +481,12 @@ def run_training_plane_round(
         if payload[2].attack is not None:
             continue
         client = clients[prep.client_id]
-        train_config = client.config
-        batches = plan_local_batches(
-            client.data.x_train.shape[0],
-            client.rng,
-            epochs=train_config.local_epochs,
-            batch_size=train_config.batch_size,
-            max_batches=train_config.local_batches,
-        )
-        job = TrainJob(
-            x=client.data.x_train,
-            y=client.data.y_train,
-            batches=batches,
-            start_flat=prep.reference_flat,
-            tag=index,
-            lr=train_config.learning_rate,
-            momentum=train_config.momentum,
-        )
+        job = plan_client_job(client, prep.reference_flat, index)
         model_jobs.setdefault(id(client.model), (client.model, []))[1].append(job)
 
-    trained: dict[int, tuple[np.ndarray, float]] = {}
-    for model, jobs in model_jobs.values():
-        trainer = LockstepTrainer(lr=jobs[0].lr, momentum=jobs[0].momentum)
-        for job, outcome in zip(jobs, trainer.train(model, jobs)):
-            trained[job.tag] = outcome
+    trained: dict[int, tuple[np.ndarray, float]] = train_grouped(
+        list(model_jobs.values())
+    )
 
     config = context.config
     results: list[ClientRoundResult] = []

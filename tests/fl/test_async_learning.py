@@ -232,3 +232,45 @@ def test_timed_view_visibility(rng):
     assert late.cumulative_weight(GENESIS_ID) == 2
     with pytest.raises(KeyError):
         early.get("a")
+
+
+def test_scheduled_cycle_ties_break_by_client_id_not_push_order():
+    """Regression: ties at equal finish_time must pop by client id.
+
+    The queue used to fall through to the seq field on a timestamp
+    collision, so pop order depended on the incidental push order —
+    here client 7 (pushed first, seq 0) would beat client 2.
+    """
+    import heapq
+
+    from repro.fl.async_learning import _ScheduledCycle
+
+    queue = []
+    heapq.heappush(queue, _ScheduledCycle(5.0, 7, 0, 4.0))
+    heapq.heappush(queue, _ScheduledCycle(5.0, 2, 1, 4.5))
+    assert heapq.heappop(queue).client_id == 2
+    assert heapq.heappop(queue).client_id == 7
+
+
+def test_scheduled_cycle_order_invariant_to_insertion_order():
+    import heapq
+    import itertools
+
+    from repro.fl.async_learning import _ScheduledCycle
+
+    cycles = [
+        _ScheduledCycle(2.0, 3, 0, 1.0),
+        _ScheduledCycle(2.0, 1, 1, 1.5),
+        _ScheduledCycle(1.0, 5, 2, 0.5),
+        _ScheduledCycle(2.0, 4, 3, 1.2),
+    ]
+    expected = None
+    for permutation in itertools.permutations(cycles):
+        queue = []
+        for cycle in permutation:
+            heapq.heappush(queue, cycle)
+        popped = [heapq.heappop(queue).client_id for _ in range(len(queue))]
+        if expected is None:
+            expected = popped
+        assert popped == expected
+    assert expected == [5, 1, 3, 4]

@@ -1,0 +1,38 @@
+"""Fixtures for the event-driven simulator suite.
+
+The engine tests run on the FedProx synthetic federation with a
+logistic-regression model: Dense-only (so every fused plane applies) and
+cheap enough that parity runs covering dozens of training cycles stay
+fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import make_fedprox_synthetic
+from repro.fl import DagConfig, TrainingConfig
+from repro.nn import zoo
+
+
+@pytest.fixture(scope="session")
+def sim_dataset():
+    return make_fedprox_synthetic(num_clients=8, mean_samples=20, seed=3)
+
+
+@pytest.fixture(scope="session")
+def logistic_builder(sim_dataset):
+    features = sim_dataset.clients[0].x_train.shape[1]
+    return lambda rng: zoo.build_logistic_regression(
+        rng, in_features=features, num_classes=10
+    )
+
+
+@pytest.fixture
+def sim_train_config() -> TrainingConfig:
+    return TrainingConfig(local_epochs=1, batch_size=8, learning_rate=0.05)
+
+
+@pytest.fixture
+def sim_dag_config() -> DagConfig:
+    return DagConfig(alpha=5.0, depth_range=(2, 5))

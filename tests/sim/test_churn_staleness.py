@@ -1,0 +1,228 @@
+"""Mid-run churn and staleness-aware reference aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    ChurnEvent,
+    EventDrivenTangleLearning,
+    LatencyModel,
+    SimConfig,
+    StalenessPolicy,
+    random_churn,
+)
+
+
+def constant_schedule(**kwargs):
+    return SimConfig(
+        think=LatencyModel("constant", 1.0),
+        train=LatencyModel("constant", 1.0),
+        propagation=LatencyModel("constant", 0.0),
+        **kwargs,
+    )
+
+
+def make_engine(dataset, builder, train_config, dag_config, sim_config, seed=0):
+    return EventDrivenTangleLearning(
+        dataset, builder, train_config, dag_config, sim_config=sim_config, seed=seed
+    )
+
+
+def test_leave_cancels_outstanding_cycle(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config
+):
+    """Client 0's first cycle would finish at t=2; leaving at t=1.5
+    cancels it, and rejoining at t=5 restarts think+train from scratch
+    so its only training completion lands at t=7."""
+    sim_config = constant_schedule(
+        churn=(ChurnEvent(1.5, "leave", 0), ChurnEvent(5.0, "join", 0))
+    )
+    engine = make_engine(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config, sim_config
+    )
+    engine.run_until(8.0)
+    times = [e.time for e in engine.events if e.kind == "train" and e.client_id == 0]
+    assert times == [7.0]
+
+
+def test_leave_at_exact_finish_time_wins_the_tie(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config
+):
+    """Churn outranks cycle completions at equal timestamps: a client
+    leaving at exactly its cycle's finish time never publishes it."""
+    sim_config = constant_schedule(churn=(ChurnEvent(2.0, "leave", 3),))
+    engine = make_engine(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config, sim_config
+    )
+    engine.run_until(4.0)
+    assert not any(
+        e.kind == "train" and e.client_id == 3 for e in engine.events
+    )
+    assert 3 not in engine.active_clients
+
+
+@pytest.mark.parametrize("quantum", [0.0, 0.8])
+def test_churned_client_silent_while_away(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config, quantum
+):
+    sim_config = SimConfig(
+        quantum=quantum,
+        churn=(ChurnEvent(2.0, "leave", 1), ChurnEvent(6.0, "join", 1)),
+    )
+    engine = make_engine(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config,
+        sim_config, seed=9,
+    )
+    engine.run_until(12.0)
+    kinds = {e.kind for e in engine.events}
+    assert {"leave", "join"} <= kinds
+    for event in engine.events:
+        if event.kind == "train" and event.client_id == 1:
+            assert not 2.0 <= event.time < 6.0
+    # Membership reflected live at the boundary events.
+    leave = next(e for e in engine.events if e.kind == "leave")
+    join = next(e for e in engine.events if e.kind == "join")
+    assert leave.time == 2.0 and join.time == 6.0
+
+
+def test_join_of_active_client_is_idempotent(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config
+):
+    """Joining an already-active client must not double its cycles."""
+    sim_config = constant_schedule(churn=(ChurnEvent(0.5, "join", 2),))
+    engine = make_engine(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config, sim_config
+    )
+    engine.run_until(2.5)
+    times = [e.time for e in engine.events if e.kind == "train" and e.client_id == 2]
+    assert times == [2.0]
+
+
+def test_random_churn_schedule_shape():
+    rng = np.random.default_rng(17)
+    schedule = random_churn(
+        range(6), mean_uptime=3.0, mean_downtime=1.0, horizon=20.0, rng=rng
+    )
+    assert schedule
+    times = [e.time for e in schedule]
+    assert times == sorted(times)
+    assert all(0.0 <= t < 20.0 for t in times)
+    by_client: dict[int, list[str]] = {}
+    for event in schedule:
+        by_client.setdefault(event.client_id, []).append(event.action)
+    for actions in by_client.values():
+        # Everyone starts up, so per-client actions strictly alternate
+        # beginning with a leave.
+        expected = ["leave", "join"] * (len(actions) // 2 + 1)
+        assert actions == expected[: len(actions)]
+    with pytest.raises(ValueError):
+        random_churn(range(3), mean_uptime=0.0, mean_downtime=1.0, horizon=5.0, rng=rng)
+
+
+def test_churn_event_validation():
+    with pytest.raises(ValueError):
+        ChurnEvent(1.0, "crash", 0)
+    with pytest.raises(ValueError):
+        ChurnEvent(-1.0, "leave", 0)
+
+
+def test_staleness_weights_normalize():
+    staleness = np.array([0.0, 1.0, 3.0, 10.0])
+    for policy in (
+        StalenessPolicy("none"),
+        StalenessPolicy("constant"),
+        StalenessPolicy("polynomial", alpha=0.7),
+        StalenessPolicy("hinge", alpha=0.5, beta=2.0),
+    ):
+        weights = policy.weights(staleness)
+        assert weights.shape == staleness.shape
+        assert np.all(weights > 0)
+        assert np.isclose(weights.sum(), 1.0)
+    with pytest.raises(ValueError):
+        StalenessPolicy().weights(np.array([]))
+
+
+def test_staleness_weights_monotone_non_increasing():
+    staleness = np.linspace(0.0, 12.0, 25)
+    for policy in (
+        StalenessPolicy("polynomial", alpha=0.5),
+        StalenessPolicy("hinge", alpha=0.5, beta=4.0),
+    ):
+        weights = policy.weights(staleness)
+        assert np.all(np.diff(weights) <= 1e-12)
+    # Hinge is flat inside the grace period.
+    hinge = StalenessPolicy("hinge", alpha=0.5, beta=4.0)
+    flat = hinge.weights(np.array([0.0, 2.0, 4.0]))
+    assert np.allclose(flat, flat[0])
+
+
+def test_constant_staleness_matches_mean_aggregator(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config
+):
+    """Uniform staleness weights reproduce the default mean aggregator
+    (so "constant" is a measured-but-ignored variant of "none")."""
+    engine = make_engine(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config,
+        SimConfig(staleness=StalenessPolicy("constant")), seed=6,
+    )
+    engine.run_cycles(10)
+    tips = [tx.tx_id for tx in engine.tangle.transactions()][-2:]
+    weighted = engine._reference_weights(tips, engine.now)
+    models = [engine.tangle.get(t).model_weights for t in tips]
+    mean = [np.mean(np.stack(layers), axis=0) for layers in zip(*models)]
+    for got, expected in zip(weighted, mean):
+        np.testing.assert_allclose(got, expected, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("mode", ["polynomial", "hinge"])
+def test_staleness_modes_run_and_publish(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config, mode
+):
+    engine = make_engine(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config,
+        SimConfig(staleness=StalenessPolicy(mode, alpha=0.5, beta=1.0)), seed=12,
+    )
+    events = engine.run_cycles(12)
+    assert any(e.published for e in events)
+    assert len(engine.tangle) > 1
+
+
+def test_full_scenario_with_everything_on(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config
+):
+    """Churn + stragglers + heterogeneity + staleness + batching all at
+    once: the run completes, stays deterministic, and honors churn."""
+    rng = np.random.default_rng(21)
+    sim_config = SimConfig(
+        quantum=0.6,
+        rate_spread=0.3,
+        straggler_fraction=0.25,
+        straggler_slowdown=3.0,
+        churn=random_churn(
+            range(8), mean_uptime=6.0, mean_downtime=2.0, horizon=10.0, rng=rng
+        ),
+        staleness=StalenessPolicy("polynomial", alpha=0.5),
+    )
+
+    def trace():
+        engine = make_engine(
+            sim_dataset, logistic_builder, sim_train_config, sim_dag_config,
+            sim_config, seed=30,
+        )
+        engine.run_until(10.0)
+        away: set[int] = set()
+        for event in engine.events:
+            if event.kind == "leave":
+                away.add(event.client_id)
+            elif event.kind == "join":
+                away.discard(event.client_id)
+            elif event.kind == "train":
+                assert event.client_id not in away
+        return [
+            (e.time, e.kind, e.client_id, e.published, e.accuracy, e.tx_id)
+            for e in engine.events
+        ]
+
+    first = trace()
+    assert any(kind == "train" for _, kind, *_ in first)
+    assert first == trace()

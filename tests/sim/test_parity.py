@@ -1,0 +1,201 @@
+"""Parity: the event engine reproduces both fixed-schedule simulators.
+
+These tests pin the engine's degenerate configurations **bit for bit**:
+
+- sequential mode (``quantum = 0``) under :meth:`SimConfig.async_compat`
+  against :class:`AsyncTangleLearning` — same publish trace, same
+  transaction ids, same accuracies;
+- round mode (:meth:`run_rounds`) against :class:`TangleLearning` —
+  identical round records (modulo wall-clock walk timings) and tangles,
+  across the training-plane and walk-engine variants.
+
+Everything the engine adds (latency models, churn, staleness, quantum
+batching) must therefore be strictly additive: inert knobs cannot shift
+a single rng draw.
+"""
+
+import pytest
+
+from repro.fl import AsyncTangleLearning, DagConfig, TangleLearning
+from repro.sim import EventDrivenTangleLearning, LatencyModel, SimConfig
+
+
+def publish_trace(events):
+    return [
+        (e.time, e.client_id, e.published, e.accuracy, e.reference_accuracy, e.tx_id)
+        for e in events
+    ]
+
+
+def tangle_ids(tangle):
+    return [tx.tx_id for tx in tangle.transactions()]
+
+
+def record_key(record):
+    """Everything in a RoundRecord except wall-clock walk timings."""
+    return (
+        record.round_index,
+        record.active_clients,
+        record.client_accuracy,
+        record.client_loss,
+        record.reference_accuracy,
+        record.published,
+        record.walk_evaluations,
+    )
+
+
+@pytest.mark.parametrize("training_plane", [False, True])
+def test_sequential_mode_matches_async_simulator(
+    sim_dataset, logistic_builder, sim_train_config, training_plane
+):
+    dag_config = DagConfig(
+        alpha=5.0, depth_range=(2, 5), training_plane=training_plane
+    )
+    reference = AsyncTangleLearning(
+        sim_dataset, logistic_builder, sim_train_config, dag_config, seed=11
+    )
+    engine = EventDrivenTangleLearning(
+        sim_dataset,
+        logistic_builder,
+        sim_train_config,
+        dag_config,
+        sim_config=SimConfig.async_compat(),
+        seed=11,
+    )
+    assert publish_trace(reference.run_cycles(25)) == publish_trace(
+        engine.run_cycles(25)
+    )
+    assert tangle_ids(reference.tangle) == tangle_ids(engine.tangle)
+
+
+def test_sequential_parity_with_custom_latency_means(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config
+):
+    """Non-default means flow through identically on both sides."""
+    reference = AsyncTangleLearning(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config,
+        seed=4, mean_think_time=0.5, mean_train_time=2.0,
+        train_time_sigma=0.5, mean_propagation_delay=0.3,
+    )
+    engine = EventDrivenTangleLearning(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config,
+        sim_config=SimConfig.async_compat(
+            mean_think_time=0.5, mean_train_time=2.0,
+            train_time_sigma=0.5, mean_propagation_delay=0.3,
+        ),
+        seed=4,
+    )
+    assert publish_trace(reference.run_until(12.0)) == publish_trace(
+        engine.run_until(12.0)
+    )
+    assert reference.now == engine.now
+
+
+def test_sequential_parity_with_zero_propagation_delay(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config
+):
+    """The zero-delay case skips the propagation draw on both sides —
+    a stream-alignment trap the LatencyModel must reproduce."""
+    reference = AsyncTangleLearning(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config,
+        seed=8, mean_propagation_delay=0.0,
+    )
+    engine = EventDrivenTangleLearning(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config,
+        sim_config=SimConfig.async_compat(mean_propagation_delay=0.0),
+        seed=8,
+    )
+    assert publish_trace(reference.run_cycles(20)) == publish_trace(
+        engine.run_cycles(20)
+    )
+
+
+@pytest.mark.parametrize(
+    "dag_config",
+    [
+        DagConfig(alpha=5.0, depth_range=(2, 5)),
+        DagConfig(alpha=5.0, depth_range=(2, 5), training_plane=True),
+        DagConfig(selector="weighted", depth_range=(2, 5), walk_engine=True),
+    ],
+    ids=["accuracy", "training-plane", "weighted-engine"],
+)
+def test_round_mode_matches_round_simulator(
+    sim_dataset, logistic_builder, sim_train_config, dag_config
+):
+    reference = TangleLearning(
+        sim_dataset, logistic_builder, sim_train_config, dag_config,
+        clients_per_round=5, seed=7,
+    )
+    engine = EventDrivenTangleLearning(
+        sim_dataset, logistic_builder, sim_train_config, dag_config, seed=7
+    )
+    try:
+        reference_records = reference.run(4)
+        engine_records = engine.run_rounds(4, clients_per_round=5)
+    finally:
+        reference.close()
+        engine.close()
+    assert [record_key(r) for r in reference_records] == [
+        record_key(r) for r in engine_records
+    ]
+    assert tangle_ids(reference.tangle) == tangle_ids(engine.tangle)
+    assert engine.round_history == engine_records
+
+
+def test_round_mode_events_mirror_records(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config
+):
+    engine = EventDrivenTangleLearning(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config, seed=2
+    )
+    try:
+        records = engine.run_rounds(3, clients_per_round=4)
+    finally:
+        engine.close()
+    train_events = [e for e in engine.events if e.kind == "train"]
+    assert len(train_events) == sum(len(r.active_clients) for r in records)
+    published_ids = [e.tx_id for e in train_events if e.published]
+    assert published_ids == [tx for r in records for tx in r.published]
+    assert engine.now == float(len(records))
+
+
+def test_inert_knobs_do_not_shift_streams(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config
+):
+    """Heterogeneity draws come from a dedicated stream: a zero-impact
+    rate spread plus an all-ones slowdown must leave the trace alone."""
+    base = SimConfig.async_compat()
+    inert = SimConfig(
+        think=base.think,
+        train=base.train,
+        propagation=base.propagation,
+        straggler_fraction=0.5,
+        straggler_slowdown=1.0,  # flagged as stragglers, but not slowed
+    )
+    trace = []
+    for config in (base, inert):
+        engine = EventDrivenTangleLearning(
+            sim_dataset, logistic_builder, sim_train_config, sim_dag_config,
+            sim_config=config, seed=13,
+        )
+        trace.append(publish_trace(engine.run_cycles(15)))
+    assert trace[0] == trace[1]
+
+
+def test_uniform_schedule_processes_clients_in_id_order(
+    sim_dataset, logistic_builder, sim_train_config, sim_dag_config
+):
+    """Constant latencies collapse every client onto the same finish
+    time; the tie-break must order the trace by client id."""
+    engine = EventDrivenTangleLearning(
+        sim_dataset, logistic_builder, sim_train_config, sim_dag_config,
+        sim_config=SimConfig(
+            think=LatencyModel("constant", 1.0),
+            train=LatencyModel("constant", 1.0),
+            propagation=LatencyModel("constant", 0.0),
+        ),
+        seed=0,
+    )
+    events = engine.run_cycles(len(engine.clients))
+    assert [e.time for e in events] == [2.0] * len(engine.clients)
+    assert [e.client_id for e in events] == sorted(engine.clients)

@@ -1,0 +1,73 @@
+"""Fast 100-client smoke of the quantum-batched engine.
+
+The full-scale (1000-client) runs live in ``benchmarks/``; this keeps a
+down-scaled version of the same scenario — batching, stragglers, churn —
+in the tier-1 suite so scheduler regressions surface before the
+benchmark tier."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_fedprox_synthetic
+from repro.fl import DagConfig, TrainingConfig
+from repro.nn import zoo
+from repro.sim import EventDrivenTangleLearning, SimConfig, random_churn
+
+
+@pytest.fixture(scope="module")
+def scale_dataset():
+    return make_fedprox_synthetic(num_clients=100, mean_samples=12, seed=1)
+
+
+def build_engine(dataset, seed=0):
+    features = dataset.clients[0].x_train.shape[1]
+    churn = random_churn(
+        range(100),
+        mean_uptime=12.0,
+        mean_downtime=3.0,
+        horizon=4.0,
+        rng=np.random.default_rng(seed),
+    )
+    return EventDrivenTangleLearning(
+        dataset,
+        lambda rng: zoo.build_logistic_regression(
+            rng, in_features=features, num_classes=10
+        ),
+        TrainingConfig(local_epochs=1, local_batches=2, batch_size=8, learning_rate=0.05),
+        DagConfig(selector="weighted", depth_range=(2, 5)),
+        sim_config=SimConfig(
+            quantum=0.5,
+            straggler_fraction=0.1,
+            straggler_slowdown=4.0,
+            churn=churn,
+        ),
+        seed=seed,
+    )
+
+
+def test_hundred_client_batched_run(scale_dataset):
+    engine = build_engine(scale_dataset)
+    events = engine.run_until(4.0)
+    assert engine.completed_cycles >= 100
+    assert len(engine.tangle) > 50  # genesis + a real tangle
+    assert any(e.kind in ("join", "leave") for e in engine.events)
+    # Churn actually moved the membership at some point.
+    assert engine.active_clients != frozenset(range(100))
+    # Batching kept event emission chronological.
+    times = [e.time for e in engine.events]
+    assert times == sorted(times)
+    assert all(e.time <= 4.0 for e in events)
+
+
+def test_hundred_client_run_is_deterministic(scale_dataset):
+    def trace():
+        engine = build_engine(scale_dataset, seed=2)
+        engine.run_until(2.5)
+        return [
+            (e.time, e.kind, e.client_id, e.published, e.accuracy, e.tx_id)
+            for e in engine.events
+        ]
+
+    first = trace()
+    assert len(first) > 50
+    assert first == trace()
