@@ -11,7 +11,7 @@ from repro.dag.arena import WeightArena
 from repro.dag.transaction import Transaction, GENESIS_ID
 from repro.dag.tangle import Tangle
 from repro.dag.view import TangleView
-from repro.dag.persistence import save_tangle, load_tangle
+from repro.dag.persistence import CorruptTangleError, save_tangle, load_tangle
 from repro.dag.export import tangle_statistics, to_dot, to_networkx
 from repro.dag.random_walk import random_walk, sample_walk_start
 from repro.dag.walk_engine import (
@@ -38,6 +38,7 @@ __all__ = [
     "TangleView",
     "save_tangle",
     "load_tangle",
+    "CorruptTangleError",
     "tangle_statistics",
     "to_dot",
     "to_networkx",

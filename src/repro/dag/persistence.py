@@ -11,6 +11,13 @@ metadata — one npz member per transaction instead of one per layer,
 which is both smaller and much faster to write and read.  Files written
 by the original per-layer format (``<tx_id>/<index>`` members and a
 ``num_arrays`` meta field) still load.
+
+Loading **validates** every checkpoint up front: missing weight
+members, rows whose dtype is not a real floating type, shapes that
+don't match the recorded spec, and non-finite weight values all raise
+:class:`CorruptTangleError` naming the offending transaction — a
+truncated or bit-rotted file fails at the load site with a clear
+message instead of deep inside a later merge or walk.
 """
 
 from __future__ import annotations
@@ -24,9 +31,20 @@ from repro.dag.tangle import Tangle
 from repro.dag.transaction import GENESIS_ID, Transaction
 from repro.nn.serialization import FlatSpec
 
-__all__ = ["save_tangle", "load_tangle"]
+__all__ = ["save_tangle", "load_tangle", "CorruptTangleError"]
 
 _META_KEY = "__tangle_meta__"
+
+
+class CorruptTangleError(ValueError):
+    """A saved tangle failed validation on load.
+
+    Raised by :func:`load_tangle` for structural damage (missing
+    metadata or weight members, no genesis) and for payload damage
+    (wrong dtype, shape mismatch against the recorded spec, non-finite
+    weight values).  Subclasses ``ValueError`` so pre-existing callers
+    catching the old bare errors keep working.
+    """
 
 
 def save_tangle(tangle: Tangle, path: str | Path) -> Path:
@@ -64,28 +82,66 @@ def save_tangle(tangle: Tangle, path: str | Path) -> Path:
     return path
 
 
+def _checked(tx_id: str, member: str, array: np.ndarray, shape: tuple) -> np.ndarray:
+    """Validate one stored weight array; raise :class:`CorruptTangleError`."""
+    if not np.issubdtype(array.dtype, np.floating):
+        raise CorruptTangleError(
+            f"transaction {tx_id!r}: member {member!r} has dtype "
+            f"{array.dtype}, expected a floating type"
+        )
+    if array.shape != shape:
+        raise CorruptTangleError(
+            f"transaction {tx_id!r}: member {member!r} has shape "
+            f"{array.shape}, expected {shape}"
+        )
+    if not np.isfinite(array).all():
+        bad = int(array.size - np.isfinite(array).sum())
+        raise CorruptTangleError(
+            f"transaction {tx_id!r}: member {member!r} carries {bad} "
+            f"non-finite value{'s' if bad != 1 else ''}"
+        )
+    return array
+
+
 def load_tangle(path: str | Path) -> Tangle:
-    """Load a tangle previously written by :func:`save_tangle`."""
+    """Load a tangle previously written by :func:`save_tangle`.
+
+    Raises :class:`CorruptTangleError` when the file fails validation
+    (see the module docstring for what is checked).
+    """
     path = Path(path)
     with np.load(path, allow_pickle=False) as data:
         if _META_KEY not in data:
-            raise ValueError(f"{path} is not a saved tangle (missing metadata)")
+            raise CorruptTangleError(
+                f"{path} is not a saved tangle (missing metadata)"
+            )
         meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
 
         def weights_of(entry: dict) -> list[np.ndarray]:
+            tx_id = entry["tx_id"]
             if "shapes" in entry:  # flat format: one member per transaction
                 spec = FlatSpec(tuple(tuple(s) for s in entry["shapes"]))
-                return [
-                    np.array(w) for w in spec.unflatten(data[f"{entry['tx_id']}/flat"])
-                ]
+                member = f"{tx_id}/flat"
+                if member not in data:
+                    raise CorruptTangleError(
+                        f"transaction {tx_id!r}: member {member!r} is missing"
+                    )
+                flat = _checked(tx_id, member, data[member], (spec.total,))
+                return [np.array(w) for w in spec.unflatten(flat)]
             # legacy per-layer format
-            return [
-                np.array(data[f"{entry['tx_id']}/{i}"])
-                for i in range(entry["num_arrays"])
-            ]
+            arrays = []
+            for i in range(entry["num_arrays"]):
+                member = f"{tx_id}/{i}"
+                if member not in data:
+                    raise CorruptTangleError(
+                        f"transaction {tx_id!r}: member {member!r} is missing"
+                    )
+                array = np.array(data[member])
+                arrays.append(_checked(tx_id, member, array, array.shape))
+            return arrays
 
         if not meta or meta[0]["tx_id"] != GENESIS_ID:
-            raise ValueError("saved tangle does not start with genesis")
+            raise CorruptTangleError("saved tangle does not start with genesis")
         # Legacy files carry no dtype marker; they were float64 tangles.
         store_dtype = np.dtype(meta[0].get("store_dtype", "<f8"))
         tangle = Tangle(weights_of(meta[0]), store_dtype=store_dtype)

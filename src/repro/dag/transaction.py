@@ -6,10 +6,31 @@ import numpy as np
 
 from repro.nn.serialization import FlatSpec
 
-__all__ = ["Transaction", "GENESIS_ID"]
+__all__ = ["Transaction", "GENESIS_ID", "payload_error"]
 
 #: Id of the genesis transaction every tangle starts with.
 GENESIS_ID = "genesis"
+
+
+def payload_error(flat: np.ndarray, spec: FlatSpec) -> str | None:
+    """Why a flat weight payload must be quarantined, or ``None`` if sound.
+
+    The publish-path admission check: a payload that is not a 1-D vector
+    of ``spec.total`` finite values never reaches
+    :meth:`~repro.dag.tangle.Tangle.add` (and therefore never pollutes
+    the :class:`~repro.dag.arena.WeightArena`).  Shape mismatches catch
+    truncated or foreign-architecture payloads; the finiteness check
+    catches NaN/Inf corruption before it can poison every downstream
+    mean.  Returns a short human-readable reason so callers can count
+    and surface quarantines.
+    """
+    flat = np.asarray(flat)
+    if flat.ndim != 1 or flat.shape[0] != spec.total:
+        return f"shape {flat.shape} does not match spec total {spec.total}"
+    if not np.isfinite(flat).all():
+        bad = int(np.size(flat) - np.isfinite(flat).sum())
+        return f"{bad} non-finite value{'s' if bad != 1 else ''}"
+    return None
 
 
 class Transaction:

@@ -459,11 +459,24 @@ def padded_normalize(
 
 
 def _fill_score_memo(
-    score_memo: np.ndarray, candidates: np.ndarray, score_fn: ScoreFn
+    score_memo: np.ndarray,
+    candidates: np.ndarray,
+    score_fn: ScoreFn,
+    known: np.ndarray | None = None,
 ) -> None:
     """Score the distinct not-yet-scored nodes among ``candidates`` into
-    the memo (one ``score_fn`` call); no-op when everything is known."""
-    missing = np.unique(candidates[np.isnan(score_memo[candidates])])
+    the memo (one ``score_fn`` call); no-op when everything is known.
+
+    ``known`` is the explicit scored-mask: filled indices are marked
+    known *even when the score itself is NaN*, so a score function that
+    returns NaN for a node (a corrupted model, a failed evaluation) is
+    scored exactly once per call instead of being mistaken for a cache
+    miss forever.  Without ``known`` the legacy NaN-sentinel convention
+    applies (NaN in the memo = not yet scored)."""
+    if known is None:
+        missing = np.unique(candidates[np.isnan(score_memo[candidates])])
+    else:
+        missing = np.unique(candidates[~known[candidates]])
     if missing.size == 0:
         return
     fresh = np.asarray(score_fn(missing), dtype=np.float64)
@@ -472,6 +485,8 @@ def _fill_score_memo(
             f"score_fn returned shape {fresh.shape} for {missing.shape[0]} nodes"
         )
     score_memo[missing] = fresh
+    if known is not None:
+        known[missing] = True
 
 
 def lockstep_walks(
@@ -539,10 +554,16 @@ def lockstep_walks(
     approvers = snapshot.approvers_padded()
     columns = snapshot._column_range
     rows = np.arange(len(current))
-    # A memo with no NaN at entry can never miss (scores only get
-    # filled in), so the per-superstep NaN probe is skipped entirely;
-    # a memo that starts with holes keeps the probe for the whole call.
-    memo_may_miss = bool(np.isnan(score_memo).any())
+    # The scored-mask is explicit: NaN in the memo marks "not yet
+    # scored" only at entry (the construction convention of every
+    # caller); once a node is filled it stays known even if its score
+    # *is* NaN — a score function may legitimately return NaN for a
+    # corrupted model, and re-scoring it every superstep (the old
+    # NaN-as-sentinel ambiguity) both wasted evaluations and let NaN
+    # win every argmax.  A memo with no holes at entry skips the
+    # per-superstep miss probe entirely, as before.
+    known = ~np.isnan(score_memo)
+    memo_may_miss = not known.all()
     live = np.flatnonzero(degrees[current] > 0)
     with np.errstate(divide="ignore", invalid="ignore"):
         while live.size:
@@ -563,17 +584,31 @@ def lockstep_walks(
                         continue
                     row = indices[start : start + k]
                     scores = score_memo[row]
-                    if memo_may_miss and np.isnan(scores).any():
-                        _fill_score_memo(score_memo, row, score_fn)
+                    if memo_may_miss and not known[row].all():
+                        _fill_score_memo(score_memo, row, score_fn, known)
                         scores = score_memo[row]
-                    normalized = padded_normalize(
-                        scores[None, :],
-                        np.ones((1, k), dtype=bool),
-                        normalization,
-                    )[0]
-                    z = alpha * normalized - np.log(
-                        rng.standard_exponential(k)
-                    )
+                    finite = np.isfinite(scores)
+                    if finite.all():
+                        normalized = padded_normalize(
+                            scores[None, :],
+                            np.ones((1, k), dtype=bool),
+                            normalization,
+                        )[0]
+                        logits = alpha * normalized
+                    elif finite.any():
+                        # Non-finite candidates (corrupted models) never
+                        # attract the walk: their logits degrade to -inf
+                        # while the finite ones keep the exact standard
+                        # arithmetic over the reduced candidate set.
+                        normalized = padded_normalize(
+                            scores[None, :], finite[None, :], normalization
+                        )[0]
+                        logits = np.where(finite, alpha * normalized, -np.inf)
+                    else:
+                        # Every candidate is corrupt — degrade to a
+                        # uniform step rather than crash or pick NaN.
+                        logits = np.zeros(k)
+                    z = logits - np.log(rng.standard_exponential(k))
                     node = int(row[int(z.argmax())])
                 current[particle] = node
                 break
@@ -593,10 +628,10 @@ def lockstep_walks(
                 valid = columns[:kmax] < counts[:, None]
                 scores = score_memo[candidates]
                 if memo_may_miss:
-                    unknown = np.isnan(scores) & valid
+                    unknown = ~known[candidates] & valid
                     if unknown.any():
                         _fill_score_memo(
-                            score_memo, candidates[unknown], score_fn
+                            score_memo, candidates[unknown], score_fn, known
                         )
                         scores = score_memo[candidates]
                 # Gumbel-max per row: argmax(logit - log E), E ~ Exp(1),
@@ -609,10 +644,31 @@ def lockstep_walks(
                 # spread — a genuine per-row rescale — so only it pays
                 # for the masked reductions, via the shared
                 # padded_normalize arithmetic.
+                bad = ~np.isfinite(scores) & valid
+                any_bad = bool(bad.any())
                 if normalization == "standard":
                     logits = alpha * scores
                 else:
-                    logits = alpha * padded_normalize(scores, valid, normalization)
+                    # Exclude non-finite candidates from the row
+                    # reductions so one corrupt score cannot poison its
+                    # whole row's max/spread.
+                    norm_valid = valid & ~bad if any_bad else valid
+                    logits = alpha * padded_normalize(
+                        scores, norm_valid, normalization
+                    )
+                if any_bad:
+                    # Corrupted candidates never attract the walk; a row
+                    # with *no* finite candidate degrades to a uniform
+                    # pick among its (corrupt) candidates instead of
+                    # letting NaN win the argmax.  The exponential block
+                    # below keeps its shape either way, so the rng
+                    # stream position is independent of corruption.
+                    logits = np.where(bad, -np.inf, logits)
+                    alive = (valid & ~bad).any(axis=1)
+                    if not alive.all():
+                        logits = np.where(
+                            ~alive[:, None] & valid, 0.0, logits
+                        )
                 z = logits - np.log(rng.standard_exponential(valid.shape))
                 picks = np.where(valid, z, -np.inf).argmax(axis=1)
                 chosen = np.where(

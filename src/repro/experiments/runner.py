@@ -318,6 +318,7 @@ def run_async_dag_with_metrics(
         "wall_clock": elapsed,
         "events_per_second": events / elapsed if elapsed > 0 else float("inf"),
         "accuracy_timeline": engine.accuracy_timeline(),
+        "fault_stats": dict(engine.fault_stats),
         "metric_times": metric_times,
         "modularity": modularity_series,
         "num_partitions": partitions_series,

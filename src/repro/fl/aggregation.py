@@ -23,10 +23,18 @@ at one-ulp tolerance by the equivalence tests, are the legacy mean's
 sequential Python ``sum`` for ``k > 2`` and the legacy trimmed mean's
 pointless pre-sort when the trim count rounds to zero (``k`` of 3 or 4
 at the default fraction).
+
+Every strategy (vectorized and reference alike) is additionally
+**non-finite safe**: NaN/Inf coordinates in any input are masked from
+that coordinate's reduction, and a coordinate with no finite value at
+all aggregates to 0.0 — one corrupted reference degrades a merge
+gracefully instead of NaN-poisoning every downstream model.  Clean
+inputs never touch the masked path.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 import numpy as np
@@ -49,15 +57,72 @@ __all__ = [
 Aggregator = Callable[[list[Weights]], Weights]
 
 
+# --------------------------------------------- non-finite-safe reductions
+# Every aggregator degrades gracefully when some inputs carry NaN/Inf
+# coordinates (a corrupted model that slipped past upstream defenses):
+# non-finite entries are masked *per coordinate* and the reduction runs
+# over the finite values that remain; a coordinate with no finite value
+# at all aggregates to 0.0 rather than propagating the poison.  The
+# masked path only engages when non-finite values are actually present —
+# on clean inputs every aggregator takes its historical fast path and is
+# bit-identical to the pre-hardening code.
+
+
+def _masked_mean(stacked: np.ndarray, finite: np.ndarray) -> np.ndarray:
+    counts = finite.sum(axis=0)
+    total = np.where(finite, stacked, 0.0).sum(axis=0)
+    return np.where(counts > 0, total / np.maximum(counts, 1), 0.0)
+
+
+def _masked_median(stacked: np.ndarray, finite: np.ndarray) -> np.ndarray:
+    masked = np.where(finite, stacked, np.nan)
+    with warnings.catch_warnings():
+        # All-NaN coordinates are expected here; they map to 0.0 below.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        med = np.nanmedian(masked, axis=0)
+    return np.where(np.isfinite(med), med, 0.0)
+
+
+def _masked_trimmed_mean(
+    stacked: np.ndarray, finite: np.ndarray, trim: int
+) -> np.ndarray:
+    # Sort pushes the NaN-masked entries past every finite value, so per
+    # coordinate the first ``counts`` sorted entries are its finite
+    # values in order; the trim shrinks where too few survive (the same
+    # ``(k - 1) // 2`` cap ``_trim_count`` applies globally) and the
+    # kept windows are summed via one cumulative sum.
+    k = stacked.shape[0]
+    masked = np.where(finite, stacked, np.nan)
+    ordered = np.sort(masked, axis=0)
+    counts = finite.sum(axis=0)
+    t = np.minimum(trim, np.maximum((counts - 1) // 2, 0))
+    lo, hi = t, counts - t
+    csum = np.cumsum(np.where(np.isnan(ordered), 0.0, ordered), axis=0)
+    upper = np.take_along_axis(csum, np.clip(hi - 1, 0, k - 1)[None], axis=0)[0]
+    lower = np.where(
+        lo > 0,
+        np.take_along_axis(csum, np.clip(lo - 1, 0, k - 1)[None], axis=0)[0],
+        0.0,
+    )
+    kept = hi - lo
+    return np.where(kept > 0, (upper - lower) / np.maximum(kept, 1), 0.0)
+
+
 # ------------------------------------------------------- flat primitives
 def mean_flat(stacked: np.ndarray) -> np.ndarray:
     """Coordinate-wise mean of a ``(k, P)`` stack of flat models."""
-    return stacked.mean(axis=0)
+    finite = np.isfinite(stacked)
+    if finite.all():
+        return stacked.mean(axis=0)
+    return _masked_mean(stacked, finite)
 
 
 def median_flat(stacked: np.ndarray) -> np.ndarray:
     """Coordinate-wise median of a ``(k, P)`` stack of flat models."""
-    return np.median(stacked, axis=0)
+    finite = np.isfinite(stacked)
+    if finite.all():
+        return np.median(stacked, axis=0)
+    return _masked_median(stacked, finite)
 
 
 def _trim_count(k: int, trim_fraction: float) -> int:
@@ -73,6 +138,9 @@ def trimmed_mean_flat(stacked: np.ndarray, *, trim_fraction: float = 0.2) -> np.
     """Coordinate-wise trimmed mean of a ``(k, P)`` stack of flat models."""
     k = stacked.shape[0]
     trim = _trim_count(k, trim_fraction)
+    finite = np.isfinite(stacked)
+    if not finite.all():
+        return _masked_trimmed_mean(stacked, finite, trim)
     if trim == 0:
         return stacked.mean(axis=0)
     ordered = np.sort(stacked, axis=0)
@@ -142,19 +210,30 @@ def _mean_reference(weight_sets: list[Weights]) -> Weights:
         raise ValueError("need at least one weight set")
     _check_same_shapes(weight_sets)
     count = len(weight_sets)
-    return [
-        sum(ws[i] for ws in weight_sets) / count for i in range(len(weight_sets[0]))
-    ]
+    result: Weights = []
+    for i in range(len(weight_sets[0])):
+        stacked = np.stack([ws[i] for ws in weight_sets])
+        finite = np.isfinite(stacked)
+        if finite.all():
+            result.append(sum(ws[i] for ws in weight_sets) / count)
+        else:
+            result.append(_masked_mean(stacked, finite))
+    return result
 
 
 def _median_reference(weight_sets: list[Weights]) -> Weights:
     if not weight_sets:
         raise ValueError("need at least one weight set")
     _check_same_shapes(weight_sets)
-    return [
-        np.median(np.stack([ws[i] for ws in weight_sets]), axis=0)
-        for i in range(len(weight_sets[0]))
-    ]
+    result: Weights = []
+    for i in range(len(weight_sets[0])):
+        stacked = np.stack([ws[i] for ws in weight_sets])
+        finite = np.isfinite(stacked)
+        if finite.all():
+            result.append(np.median(stacked, axis=0))
+        else:
+            result.append(_masked_median(stacked, finite))
+    return result
 
 
 def _trimmed_mean_reference(
@@ -168,9 +247,14 @@ def _trimmed_mean_reference(
     trim = _trim_count(k, trim_fraction)
     result: Weights = []
     for i in range(len(weight_sets[0])):
-        stacked = np.sort(np.stack([ws[i] for ws in weight_sets]), axis=0)
-        kept = stacked[trim : k - trim] if trim else stacked
-        result.append(kept.mean(axis=0))
+        stacked = np.stack([ws[i] for ws in weight_sets])
+        finite = np.isfinite(stacked)
+        if finite.all():
+            ordered = np.sort(stacked, axis=0)
+            kept = ordered[trim : k - trim] if trim else ordered
+            result.append(kept.mean(axis=0))
+        else:
+            result.append(_masked_trimmed_mean(stacked, finite, trim))
     return result
 
 

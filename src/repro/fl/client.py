@@ -102,7 +102,17 @@ class Client:
         Routed through :meth:`Classifier.accuracy`, which skips the
         cross-entropy computation entirely — the value is identical to
         ``evaluate_weights(weights)[1]`` (same forward pass, same argmax).
+
+        A model carrying non-finite weights scores the worst possible
+        accuracy, 0.0, without a forward pass: NaN logits would make the
+        argmax (and thus the "accuracy") an artifact of tie-breaking
+        rather than a judgment, and a corrupted model must never look
+        attractive to the accuracy-biased walk.  The query still counts
+        as one evaluation.
         """
+        if any(not np.isfinite(w).all() for w in weights):
+            self.evaluations += 1
+            return 0.0
         self.model.set_weights(weights)
         self.evaluations += 1
         return self.model.accuracy(self.data.x_test, self.data.y_test)
@@ -113,8 +123,13 @@ class Client:
         The loss-free twin of :meth:`evaluate_flat`, used by the event
         engine's publish gate on rows coming straight off the lockstep
         ``(K, P)`` training stack — same forward pass and argmax as
-        ``accuracy_of_weights(spec.unflatten(flat))``, no per-layer list.
+        ``accuracy_of_weights(spec.unflatten(flat))``, no per-layer list
+        — including the non-finite guard (a corrupt vector scores 0.0
+        without a forward pass).
         """
+        if not np.isfinite(flat).all():
+            self.evaluations += 1
+            return 0.0
         self.model.load_flat(flat)
         self.evaluations += 1
         return self.model.accuracy(self.data.x_test, self.data.y_test)

@@ -29,11 +29,14 @@ from repro.sim.config import (
     random_churn,
 )
 from repro.sim.engine import EventDrivenTangleLearning, SimEvent
+from repro.sim.faults import FaultModel, Partition
 
 __all__ = [
     "ChurnEvent",
     "EventDrivenTangleLearning",
+    "FaultModel",
     "LatencyModel",
+    "Partition",
     "SimConfig",
     "SimEvent",
     "StalenessPolicy",

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.sim.faults import FaultModel
+
 __all__ = [
     "LatencyModel",
     "StalenessPolicy",
@@ -65,6 +67,18 @@ class LatencyModel:
         if self.kind == "lognormal":
             return float(self.mean * rng.lognormal(0.0, self.sigma))
         return float(rng.uniform(0.0, 2.0 * self.mean))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` durations in one block; the deterministic cases
+        (constant kind, zero mean) consume the generator not at all,
+        matching :meth:`sample`'s skip-draw contract."""
+        if self.kind == "constant" or self.mean == 0.0:
+            return np.full(size, float(self.mean))
+        if self.kind == "exponential":
+            return rng.exponential(self.mean, size)
+        if self.kind == "lognormal":
+            return self.mean * rng.lognormal(0.0, self.sigma, size)
+        return rng.uniform(0.0, 2.0 * self.mean, size)
 
 
 @dataclass(frozen=True)
@@ -161,6 +175,20 @@ class SimConfig:
     - ``churn`` — a schedule of :class:`ChurnEvent`; ``initially_active``
       restricts the starting membership (``None`` = everyone).
     - ``staleness`` — the reference-aggregation :class:`StalenessPolicy`.
+    - ``faults`` — the :class:`~repro.sim.faults.FaultModel` fault
+      schedule (drops, duplicates, jitter, partitions, crashes, payload
+      corruption).  The default injects nothing and leaves the engine on
+      the exact clean code path; every stochastic fault draws from a
+      dedicated ``"faults"`` stream, so the schedule replays per seed
+      and inert knobs never shift the clean streams.
+    - ``attackers`` — client ids running the ``"random_weights"`` attack
+      (random parents, random payload tagged malicious) instead of
+      honest training, in every regime: cycles under churn/stragglers
+      and :meth:`~repro.sim.engine.EventDrivenTangleLearning.run_rounds`
+      (where the round substrate's attack path makes the records
+      bit-identical to ``TangleLearning(attackers=...)``).  Label-flip
+      attackers need no hook — they are data-level
+      (:func:`repro.poisoning.poison_dataset_label_flip`).
     """
 
     think: LatencyModel = LatencyModel("exponential", 1.0)
@@ -173,6 +201,8 @@ class SimConfig:
     churn: tuple[ChurnEvent, ...] = ()
     initially_active: frozenset[int] | None = None
     staleness: StalenessPolicy = field(default_factory=StalenessPolicy)
+    faults: FaultModel = field(default_factory=FaultModel)
+    attackers: frozenset[int] = frozenset()
 
     def __post_init__(self) -> None:
         if self.quantum < 0:
@@ -194,6 +224,7 @@ class SimConfig:
             object.__setattr__(
                 self, "initially_active", frozenset(self.initially_active)
             )
+        object.__setattr__(self, "attackers", frozenset(self.attackers))
 
     @classmethod
     def async_compat(

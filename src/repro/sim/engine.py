@@ -58,7 +58,8 @@ import numpy as np
 
 from repro.dag import walk_engine
 from repro.dag.tangle import Tangle
-from repro.dag.transaction import Transaction
+from repro.dag.tip_selection import RandomTipSelector
+from repro.dag.transaction import Transaction, payload_error
 from repro.dag.view import TangleView
 from repro.data.base import FederatedDataset
 from repro.fl.aggregation import get_aggregator
@@ -88,8 +89,9 @@ ModelBuilder = Callable[[np.random.Generator], Classifier]
 
 # Tie-break ranks at equal timestamps: membership changes resolve before
 # the cycles they affect — a client leaving at exactly its cycle's
-# finish time never publishes that cycle.
-_RANK = {"join": 0, "leave": 1, "cycle": 2}
+# finish time never publishes that cycle.  Crash/recover are the fault
+# plane's ungraceful twins of leave/join and share their ranks.
+_RANK = {"join": 0, "recover": 0, "leave": 1, "crash": 1, "cycle": 2}
 
 
 @dataclass(order=True)
@@ -109,6 +111,9 @@ class _Event:
     start_time: float = field(compare=False, default=0.0)
     cycle_seq: int = field(compare=False, default=-1)
     generation: int = field(compare=False, default=0)
+    # Crash events carry their recovery delay (drawn at scheduling time
+    # so the fault stream's draw order is independent of the quantum).
+    payload: float = field(compare=False, default=0.0)
 
 
 @dataclass(frozen=True)
@@ -116,8 +121,17 @@ class SimEvent:
     """One processed event, as recorded in the engine's trace.
 
     ``kind`` is ``"train"`` (a completed cycle; all optional fields
-    set), ``"join"``, or ``"leave"`` (membership changes; optional
-    fields ``None``).
+    set), ``"join"`` / ``"leave"`` (membership changes), or ``"crash"``
+    / ``"recover"`` (the fault plane's ungraceful membership changes;
+    optional fields ``None``).
+
+    ``quarantined`` is ``True`` on a train event whose publication was
+    rejected by the publish-path payload validation (non-finite or
+    shape-mismatched weights) — ``published`` is then ``False`` and
+    ``tx_id`` ``None``; it stays ``None`` on every other event, so
+    clean-run traces are unchanged.  Attacker cycles
+    (:attr:`SimConfig.attackers`) record ``accuracy`` and
+    ``reference_accuracy`` as ``None`` — attackers train nothing.
     """
 
     time: float
@@ -128,6 +142,7 @@ class SimEvent:
     reference_accuracy: float | None = None
     tx_id: str | None = None
     start_time: float | None = None
+    quarantined: bool | None = None
 
 
 class EventDrivenTangleLearning:
@@ -204,6 +219,48 @@ class EventDrivenTangleLearning:
         # backs the issuer exemption when batching groups shared views.
         self._own_publications: dict[int, list[tuple[float, float, str]]] = {}
 
+        # Fault plane: all stochastic fault decisions draw from their
+        # own "faults" stream, created only when any knob is live — a
+        # disabled FaultModel leaves every clean stream untouched and
+        # the engine on the exact clean code path.
+        self._faults = sim_config.faults
+        self._fault_rng = self._rngs.get("faults") if self._faults.enabled else None
+        self.fault_stats: dict[str, int] = {
+            "crashes": 0,
+            "recoveries": 0,
+            "corrupted": 0,
+            "quarantined": 0,
+            "dropped_links": 0,
+            "duplicated_links": 0,
+        }
+        self._client_order: list[int] = sorted(self.clients)
+        # With per-link faults each client owns a visibility map (entries
+        # written once per delivery, never mutated — the walk engine's
+        # snapshot fingerprint relies on that) instead of sharing the
+        # network-wide map above.
+        self._obs_visible: dict[int, dict[str, float]] | None = None
+        if self._faults.link_faults:
+            genesis_id = self.tangle.genesis.tx_id
+            self._obs_visible = {
+                cid: {genesis_id: 0.0} for cid in self._client_order
+            }
+        # Partition membership per client, aligned with _client_order
+        # (-1 = unlisted, unaffected); precomputed so the per-publish
+        # delivery fan-out stays vectorized.
+        self._partition_membership: list[np.ndarray] = [
+            np.array(
+                [
+                    -1 if (g := p.group_of(cid)) is None else g
+                    for cid in self._client_order
+                ],
+                dtype=np.int64,
+            )
+            for p in self._faults.partitions
+        ]
+        unknown_attackers = sim_config.attackers - set(self.clients)
+        if unknown_attackers:
+            raise ValueError(f"unknown attacker clients: {sorted(unknown_attackers)}")
+
         # Membership: per-client generation counters implement lazy
         # cancellation — a leave bumps the generation, orphaning any
         # queued cycle (dropped when it surfaces).
@@ -258,7 +315,8 @@ class EventDrivenTangleLearning:
             raise ValueError("bucket must be positive")
         buckets: dict[int, list[float]] = {}
         for event in self.events:
-            if event.kind != "train":
+            # Attacker cycles carry no accuracy; skip them like churn.
+            if event.kind != "train" or event.accuracy is None:
                 continue
             buckets.setdefault(int(event.time // bucket), []).append(event.accuracy)
         return [
@@ -289,9 +347,37 @@ class EventDrivenTangleLearning:
                 generation=self._generation[client_id],
             ),
         )
+        # Crash injection rides on cycle scheduling: the Bernoulli, the
+        # crash point within the training window, and the recovery delay
+        # all draw here (from the dedicated stream, in scheduling order,
+        # which is identical at every quantum) — never at pop time,
+        # where sequential and batched pops interleave differently.
+        if self._fault_rng is not None and self._faults.crash_rate > 0:
+            if self._fault_rng.random() < self._faults.crash_rate:
+                crash_time = start + float(self._fault_rng.random()) * duration
+                recovery = (
+                    float(self._fault_rng.exponential(self._faults.recovery))
+                    if self._faults.recovery > 0
+                    else 0.0
+                )
+                heapq.heappush(
+                    self._queue,
+                    _Event(
+                        crash_time,
+                        _RANK["crash"],
+                        client_id,
+                        next(self._push_seq),
+                        "crash",
+                        generation=self._generation[client_id],
+                        payload=recovery,
+                    ),
+                )
 
     def _stale(self, event: _Event) -> bool:
-        return event.kind == "cycle" and (
+        # A crash is pinned to the cycle generation it was scheduled
+        # with: if the client already left (or crashed) the cycle is
+        # gone and the crash with it.
+        return event.kind in ("cycle", "crash") and (
             event.client_id not in self._active
             or event.generation != self._generation[event.client_id]
         )
@@ -327,6 +413,38 @@ class EventDrivenTangleLearning:
             self._generation[event.client_id] += 1
         return record
 
+    def _apply_crash(self, event: _Event) -> SimEvent:
+        """An ungraceful leave: unlike churn, the crash *loses in-flight
+        state* — the running cycle aborts unpublished and the client's
+        evaluation cache is wiped (a rebooted node re-evaluates from
+        scratch).  Stale crashes never reach here (:meth:`_stale`)."""
+        self._active.discard(event.client_id)
+        self._generation[event.client_id] += 1
+        self.clients[event.client_id].reset_cache()
+        self.fault_stats["crashes"] += 1
+        heapq.heappush(
+            self._queue,
+            _Event(
+                event.time + event.payload,
+                _RANK["recover"],
+                event.client_id,
+                next(self._push_seq),
+                "recover",
+            ),
+        )
+        return SimEvent(time=event.time, kind="crash", client_id=event.client_id)
+
+    def _apply_recover(self, event: _Event) -> SimEvent:
+        """Rejoin after a crash (a join in all but name; a client that
+        already rejoined through scheduled churn stays as it is)."""
+        record = SimEvent(time=event.time, kind="recover", client_id=event.client_id)
+        self.fault_stats["recoveries"] += 1
+        if event.client_id not in self._active:
+            self._active.add(event.client_id)
+            self._generation[event.client_id] += 1
+            self._schedule_cycle(event.client_id)
+        return record
+
     # ------------------------------------------------------------ publishing
     def _reference_weights(self, tips: list[str], at_time: float):
         """Aggregate the selected parent models into the reference.
@@ -350,10 +468,96 @@ class EventDrivenTangleLearning:
             for layers in zip(*models)
         ]
 
+    def _corrupt(self, flat: np.ndarray) -> np.ndarray:
+        """The configured in-flight payload corruption (fault stream)."""
+        rng = self._fault_rng
+        if self._faults.corruption_mode == "noise":
+            # Large finite garbage: admitted by the quarantine, left to
+            # the walk's accuracy bias and the robust aggregators.
+            return rng.normal(0.0, 100.0, flat.shape[0])
+        flat = np.array(flat, dtype=np.float64, copy=True)
+        count = max(1, flat.shape[0] // 10)
+        idx = rng.integers(0, flat.shape[0], size=count)
+        flat[idx] = np.nan if self._faults.corruption_mode == "nan" else np.inf
+        return flat
+
+    def _deliver(self, tx_id: str, issuer: int, base_visible: float) -> None:
+        """Per-link delivery fan-out (link faults active): one arrival
+        time per client, written once into that client's visibility map.
+
+        One vectorized block of fault draws per publication, in a fixed
+        knob order (jitter, drop, duplicate) — publications commit in
+        pop order at every quantum, so the schedule replays identically.
+        Inert knobs draw nothing; with every rate zero (``always_on``)
+        each client's arrival is exactly ``base_visible`` and the trace
+        matches the clean run bit for bit.
+        """
+        faults = self._faults
+        rng = self._fault_rng
+        order = self._client_order
+        n = len(order)
+        arrival = np.full(n, base_visible)
+        if faults.jitter > 0:
+            arrival += rng.exponential(faults.jitter, n)
+        dropped = None
+        if faults.drop_rate > 0:
+            dropped = rng.random(n) < faults.drop_rate
+            self.fault_stats["dropped_links"] += int(dropped.sum())
+        if faults.duplicate_rate > 0:
+            dup = rng.random(n) < faults.duplicate_rate
+            self.fault_stats["duplicated_links"] += int(dup.sum())
+            # The duplicate copy takes its own independent propagation
+            # delay; the effective arrival is the earliest surviving
+            # copy, so duplication doubles as redundancy against drops.
+            alt = self.now + self.sim_config.propagation.sample_many(rng, n)
+            arrival = np.where(dup, np.minimum(arrival, alt), arrival)
+            if dropped is not None:
+                arrival = np.where(
+                    dropped, np.where(dup, alt, np.inf), arrival
+                )
+        elif dropped is not None:
+            arrival = np.where(dropped, np.inf, arrival)
+        for partition, membership in zip(
+            faults.partitions, self._partition_membership
+        ):
+            if not partition.start <= self.now < partition.end:
+                continue
+            group = partition.group_of(issuer)
+            if group is None:
+                continue
+            crossing = (membership >= 0) & (membership != group)
+            arrival = np.where(
+                crossing, np.maximum(arrival, partition.end), arrival
+            )
+        times = arrival.tolist()
+        # The issuer is exempt from its own link faults (a client always
+        # keeps what it published) but is recorded at the clean network
+        # visibility, not the publish time: early self-visibility flows
+        # through the same observer/exemption mechanism as clean mode,
+        # keeping always_on traces bit-identical at every quantum.
+        for i, cid in enumerate(order):
+            self._obs_visible[cid][tx_id] = (
+                base_visible if cid == issuer else times[i]
+            )
+
     def _publish(
         self, client_id: int, parents: tuple[str, ...], flat: np.ndarray, tags: dict
-    ) -> str:
-        """Commit a transaction at ``self.now`` with a propagation delay."""
+    ) -> str | None:
+        """Commit a transaction at ``self.now`` with a propagation delay.
+
+        The publish path is where injection meets defense: the payload
+        is (maybe) corrupted in flight, then validated — a non-finite or
+        shape-mismatched payload is **quarantined**: counted, never
+        added to the tangle (so it cannot pollute the weight arena), and
+        reported by returning ``None``.
+        """
+        if self._fault_rng is not None and self._faults.corruption_rate > 0:
+            if self._fault_rng.random() < self._faults.corruption_rate:
+                flat = self._corrupt(flat)
+                self.fault_stats["corrupted"] += 1
+        if payload_error(flat, self.tangle.spec) is not None:
+            self.fault_stats["quarantined"] += 1
+            return None
         tx = Transaction.from_flat(
             tx_id=self.tangle.next_tx_id(client_id),
             parents=parents,
@@ -368,23 +572,73 @@ class EventDrivenTangleLearning:
         self._published_at[tx.tx_id] = self.now
         visible = self.now + delay
         self._visible_from[tx.tx_id] = visible
+        if self._obs_visible is not None:
+            self._deliver(tx.tx_id, client_id, visible)
         self._own_publications.setdefault(client_id, []).append(
             (self.now, visible, tx.tx_id)
         )
         return tx.tx_id
 
-    # --------------------------------------------------- sequential stepping
-    def _complete_cycle(self, event: _Event) -> SimEvent:
-        """One training cycle, the async simulator's exact sequence."""
-        client = self.clients[event.client_id]
-        cfg = self.dag_config
-        view = TimedTangleView(
+    def _view_for(self, client_id: int, at_time: float) -> TimedTangleView:
+        """The tangle as ``client_id`` sees it at ``at_time``: the
+        client's own visibility map under link faults, the shared
+        network map (plus issuer exemption) otherwise."""
+        visible_from = (
+            self._obs_visible[client_id]
+            if self._obs_visible is not None
+            else self._visible_from
+        )
+        return TimedTangleView(
             self.tangle,
-            self._visible_from,
-            event.start_time,
-            observer=event.client_id,
+            visible_from,
+            at_time,
+            observer=client_id,
             published_at=self._published_at,
         )
+
+    # --------------------------------------------------- sequential stepping
+    def _attack_payload(
+        self, view: TimedTangleView, walk_rng: np.random.Generator
+    ) -> tuple[list[str], np.ndarray]:
+        """The random-weights attack, the round substrate's exact
+        arithmetic (:func:`repro.substrate.round_plan._execute_attack`):
+        uniform parents, one normal draw per parameter array."""
+        tips = RandomTipSelector().select_tips(
+            view, self.dag_config.num_tips, walk_rng
+        )
+        genesis = self.tangle.genesis.model_weights
+        payload = [walk_rng.normal(0.0, 1.0, size=w.shape) for w in genesis]
+        return tips, self.tangle.spec.flatten(payload)
+
+    def _complete_attack_cycle(self, event: _Event) -> SimEvent:
+        """An attacker's cycle: no training, a malicious publication."""
+        view = self._view_for(event.client_id, event.start_time)
+        walk_rng = self._rngs.get("walk", event.cycle_seq)
+        tips, flat = self._attack_payload(view, walk_rng)
+        tx_id = self._publish(
+            event.client_id, tuple(dict.fromkeys(tips)), flat, {"malicious": True}
+        )
+        record = SimEvent(
+            time=self.now,
+            kind="train",
+            client_id=event.client_id,
+            published=tx_id is not None,
+            tx_id=tx_id,
+            start_time=event.start_time,
+            quarantined=True if tx_id is None else None,
+        )
+        self.events.append(record)
+        if event.client_id in self._active:
+            self._schedule_cycle(event.client_id)
+        return record
+
+    def _complete_cycle(self, event: _Event) -> SimEvent:
+        """One training cycle, the async simulator's exact sequence."""
+        if event.client_id in self.sim_config.attackers:
+            return self._complete_attack_cycle(event)
+        client = self.clients[event.client_id]
+        cfg = self.dag_config
+        view = self._view_for(event.client_id, event.start_time)
         walk_rng = self._rngs.get("walk", event.cycle_seq)
         selector = build_selector(client, self.tangle, cfg)
         tips = selector.select_tips(view, cfg.num_tips, walk_rng)
@@ -398,6 +652,7 @@ class EventDrivenTangleLearning:
         accuracy = client.accuracy_of_weights(trained)
 
         tx_id = None
+        quarantined = None
         published = (not cfg.publish_gate) or accuracy >= reference_accuracy
         if published:
             tx_id = self._publish(
@@ -406,6 +661,9 @@ class EventDrivenTangleLearning:
                 self.tangle.spec.flatten(trained),
                 dict(client.data.metadata.get("tags", {})),
             )
+            if tx_id is None:
+                published = False
+                quarantined = True
         record = SimEvent(
             time=self.now,
             kind="train",
@@ -415,6 +673,7 @@ class EventDrivenTangleLearning:
             reference_accuracy=reference_accuracy,
             tx_id=tx_id,
             start_time=event.start_time,
+            quarantined=quarantined,
         )
         self.events.append(record)
         if event.client_id in self._active:
@@ -431,6 +690,10 @@ class EventDrivenTangleLearning:
             record = self._apply_join(event)
         elif event.kind == "leave":
             record = self._apply_leave(event)
+        elif event.kind == "crash":
+            record = self._apply_crash(event)
+        elif event.kind == "recover":
+            record = self._apply_recover(event)
         else:
             return self._complete_cycle(event)
         self.events.append(record)
@@ -479,13 +742,21 @@ class EventDrivenTangleLearning:
             if event.kind == "leave":
                 ordered.append(self._apply_leave(event))
                 continue
+            if event.kind == "crash":
+                ordered.append(self._apply_crash(event))
+                continue
+            if event.kind == "recover":
+                ordered.append(self._apply_recover(event))
+                continue
             if window_end is None:
                 window_end = event.time + self.sim_config.quantum
             ready.append(event)
             ordered.append(event)
         return ready, ordered
 
-    def _batch_tips(self, ready: list[_Event]) -> dict[int, list[str]]:
+    def _batch_tips(
+        self, ready: list[_Event]
+    ) -> tuple[dict[int, list[str]], dict[int, np.ndarray]]:
         """The superstep's walk phase: tips per cycle (by cycle_seq).
 
         Members group by their issuer-exemption set — almost always
@@ -502,28 +773,67 @@ class EventDrivenTangleLearning:
           walks run per member over the shared snapshot, each seeded
           from the client's evaluation cache;
         - *random*: uniform draws over the shared tip list, per member.
+
+        Under link faults every client sees its own tangle, so members
+        group per client — batching still fuses training, but walk
+        snapshots cannot be shared across observers.  Each per-client
+        group still freezes at the same batch-wide time its exemption
+        set would freeze at in clean mode, so ``always_on`` (per-link
+        machinery, zero fault rates) replays the clean trace bit for
+        bit at every quantum.  Attacker members skip the
+        walk phase entirely: their parents and payload draw from their
+        per-cycle stream exactly as in sequential mode, and the payload
+        comes back in the second returned mapping.
         """
         cfg = self.dag_config
         batch = next(self._batch_seq)
-        groups: dict[frozenset, list[_Event]] = {}
+        attackers = self.sim_config.attackers
+        link = self._obs_visible is not None
+        tips_for: dict[int, list[str]] = {}
+        attack_flat: dict[int, np.ndarray] = {}
+        groups: dict[object, list[_Event]] = {}
         for event in ready:
+            if event.client_id in attackers:
+                view = self._view_for(event.client_id, event.start_time)
+                rng = self._rngs.get("walk", event.cycle_seq)
+                tips, flat = self._attack_payload(view, rng)
+                tips_for[event.cycle_seq] = tips
+                attack_flat[event.cycle_seq] = flat
+                continue
             own = self._own_publications.get(event.client_id, ())
             exempt = frozenset(
                 tx_id
                 for published, visible, tx_id in own
                 if published <= event.start_time < visible
             )
-            groups.setdefault(exempt, []).append(event)
+            key = (exempt, event.client_id) if link else exempt
+            groups.setdefault(key, []).append(event)
 
-        tips_for: dict[int, list[str]] = {}
-        for ordinal, (exempt, members) in enumerate(groups.items()):
-            view_time = min(member.start_time for member in members)
+        # Freeze times are per exemption set across the whole batch, so
+        # the per-client grouping under link faults cannot shift a view
+        # later than clean mode's shared group would have frozen it.
+        freeze_time: dict[frozenset, float] = {}
+        for key, members in groups.items():
+            exempt = key[0] if link else key
+            earliest = min(member.start_time for member in members)
+            if exempt not in freeze_time or earliest < freeze_time[exempt]:
+                freeze_time[exempt] = earliest
+
+        for ordinal, (key, members) in enumerate(groups.items()):
+            exempt = key[0] if link else key
+            view_time = freeze_time[exempt]
             # A non-empty exemption set names one issuer's own
-            # transactions, so such a group is necessarily single-client.
+            # transactions, so such a group is necessarily
+            # single-client.  The observer is granted only alongside a
+            # non-empty exemption — the same early-self-visibility rule
+            # in clean and link mode, so always_on batches replay the
+            # clean grouping exactly.
             observer = members[0].client_id if exempt else None
             view = TimedTangleView(
                 self.tangle,
-                self._visible_from,
+                self._obs_visible[members[0].client_id]
+                if link
+                else self._visible_from,
                 view_time,
                 observer=observer,
                 published_at=self._published_at,
@@ -588,7 +898,7 @@ class EventDrivenTangleLearning:
                     score_memo=memo,
                 )
                 tips_for[member.cycle_seq] = [snapshot.ids[n] for n in finals]
-        return tips_for
+        return tips_for, attack_flat
 
     def _process_batch(
         self, ready: list[_Event], ordered: list[SimEvent | _Event]
@@ -606,57 +916,87 @@ class EventDrivenTangleLearning:
                 self.events.append(entry)
             return []
         cfg = self.dag_config
-        tips_for = self._batch_tips(ready)
+        tips_for, attack_flat = self._batch_tips(ready)
 
+        # Honest members plan one lockstep training job each, tagged by
+        # cycle_seq (train_grouped keys its results by tag, so attacker
+        # members — which train nothing — simply plan no job).
         reference_accuracy: dict[int, float] = {}
         model_jobs: dict[int, tuple] = {}  # id(model) -> (model, jobs)
-        for index, event in enumerate(ready):
+        for event in ready:
+            if event.cycle_seq in attack_flat:
+                continue
             client = self.clients[event.client_id]
             reference = client.apply_personalization(
                 self._reference_weights(tips_for[event.cycle_seq], event.start_time)
             )
-            reference_accuracy[index] = client.accuracy_of_weights(reference)
+            reference_accuracy[event.cycle_seq] = client.accuracy_of_weights(reference)
             job = plan_client_job(
-                client, client.model.flat_spec.flatten(reference), index
+                client, client.model.flat_spec.flatten(reference), event.cycle_seq
             )
             model_jobs.setdefault(id(client.model), (client.model, []))[1].append(job)
 
         # One lockstep training-plane pass for the whole superstep.
-        trained = train_grouped(list(model_jobs.values()))
+        trained = train_grouped(list(model_jobs.values())) if model_jobs else {}
 
         records: list[SimEvent] = []
-        index = -1
         for entry in ordered:
             if isinstance(entry, SimEvent):  # churn popped mid-window
                 self.now = entry.time
                 self.events.append(entry)
                 continue
             event = entry
-            index += 1
             client = self.clients[event.client_id]
-            row, _loss = trained[index]
+            parents = tuple(dict.fromkeys(tips_for[event.cycle_seq]))
+            self.now = event.time
+            if event.cycle_seq in attack_flat:
+                tx_id = self._publish(
+                    event.client_id, parents, attack_flat[event.cycle_seq],
+                    {"malicious": True},
+                )
+                record = SimEvent(
+                    time=event.time,
+                    kind="train",
+                    client_id=event.client_id,
+                    published=tx_id is not None,
+                    tx_id=tx_id,
+                    start_time=event.start_time,
+                    quarantined=True if tx_id is None else None,
+                )
+                self.events.append(record)
+                records.append(record)
+                if event.client_id in self._active:
+                    self._schedule_cycle(event.client_id)
+                continue
+            row, _loss = trained[event.cycle_seq]
             if client.personal_params:
                 client.update_personal_tail(client.model.flat_spec.unflatten(row))
             accuracy = client.accuracy_of_flat(row)
-            published = (not cfg.publish_gate) or accuracy >= reference_accuracy[index]
-            self.now = event.time
+            published = (
+                not cfg.publish_gate
+            ) or accuracy >= reference_accuracy[event.cycle_seq]
             tx_id = None
+            quarantined = None
             if published:
                 tx_id = self._publish(
                     event.client_id,
-                    tuple(dict.fromkeys(tips_for[event.cycle_seq])),
+                    parents,
                     row,
                     dict(client.data.metadata.get("tags", {})),
                 )
+                if tx_id is None:
+                    published = False
+                    quarantined = True
             record = SimEvent(
                 time=event.time,
                 kind="train",
                 client_id=event.client_id,
                 published=published,
                 accuracy=accuracy,
-                reference_accuracy=reference_accuracy[index],
+                reference_accuracy=reference_accuracy[event.cycle_seq],
                 tx_id=tx_id,
                 start_time=event.start_time,
+                quarantined=quarantined,
             )
             self.events.append(record)
             records.append(record)
@@ -766,11 +1106,23 @@ class EventDrivenTangleLearning:
             rng_factory=self._rngs,
             capture_state=not in_process,
         )
+        attackers = self.sim_config.attackers
         units = [
-            ClientWorkUnit(client_id=client_id, round_index=self.round_index)
+            ClientWorkUnit(
+                client_id=client_id,
+                round_index=self.round_index,
+                attack="random_weights" if client_id in attackers else None,
+            )
             for client_id in active_ids
         ]
-        payloads = [(context, self.clients[unit.client_id], unit) for unit in units]
+        payloads = [
+            (
+                context,
+                None if unit.attack is not None else self.clients[unit.client_id],
+                unit,
+            )
+            for unit in units
+        ]
         if self.dag_config.training_plane:
             results = run_training_plane_round(
                 self._round_executor, context, payloads, self.clients
@@ -780,14 +1132,15 @@ class EventDrivenTangleLearning:
 
         barrier_time = float(self.round_index + 1)
         self.now = barrier_time
-        for result in results:
+        for unit, result in zip(units, results):
             client_id = result.client_id
-            apply_result(self.clients[client_id], result)
-            record.walk_duration[client_id] = result.walk_duration
-            record.walk_evaluations[client_id] = result.walk_evaluations
-            record.reference_accuracy[client_id] = result.reference_accuracy
-            record.client_accuracy[client_id] = result.test_accuracy
-            record.client_loss[client_id] = result.test_loss
+            if unit.attack is None:  # honest client bookkeeping
+                apply_result(self.clients[client_id], result)
+                record.walk_duration[client_id] = result.walk_duration
+                record.walk_evaluations[client_id] = result.walk_evaluations
+                record.reference_accuracy[client_id] = result.reference_accuracy
+                record.client_accuracy[client_id] = result.test_accuracy
+                record.client_loss[client_id] = result.test_loss
             tx_id = None
             if result.publish:
                 tx = Transaction.from_flat(

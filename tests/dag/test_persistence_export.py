@@ -99,3 +99,69 @@ def test_statistics(tangle):
     assert stats["max_width"] == 1
     assert stats["distinct_issuers"] == 2
     assert stats["max_approvers"] == 2  # genesis has two approvers
+
+# --------------------------------------------- corrupt checkpoint guard
+def tamper(path, tmp_path, drop=None, **overrides):
+    """Rewrite the saved npz with members replaced (or removed)."""
+    with np.load(path, allow_pickle=False) as data:
+        members = {name: data[name] for name in data.files}
+    if drop is not None:
+        members.pop(drop)
+    members.update(overrides)
+    out = tmp_path / "tampered.npz"
+    np.savez_compressed(out, **members)
+    return out
+
+
+def test_load_rejects_non_finite_rows(tangle, tmp_path):
+    from repro.dag import CorruptTangleError
+
+    path = save_tangle(tangle, tmp_path / "t.npz")
+    with np.load(path, allow_pickle=False) as data:
+        bad = np.array(data["a/flat"], copy=True)
+    bad[2] = np.nan
+    tampered = tamper(path, tmp_path, **{"a/flat": bad})
+    with pytest.raises(CorruptTangleError, match="'a'.*non-finite"):
+        load_tangle(tampered)
+
+
+def test_load_rejects_truncated_rows(tangle, tmp_path):
+    from repro.dag import CorruptTangleError
+
+    path = save_tangle(tangle, tmp_path / "t.npz")
+    with np.load(path, allow_pickle=False) as data:
+        short = np.array(data["b/flat"], copy=True)[:-2]
+    tampered = tamper(path, tmp_path, **{"b/flat": short})
+    with pytest.raises(CorruptTangleError, match="'b'.*shape"):
+        load_tangle(tampered)
+
+
+def test_load_rejects_wrong_dtype(tangle, tmp_path):
+    from repro.dag import CorruptTangleError
+
+    path = save_tangle(tangle, tmp_path / "t.npz")
+    with np.load(path, allow_pickle=False) as data:
+        ints = np.array(data["a/flat"], copy=True).astype(np.int64)
+    tampered = tamper(path, tmp_path, **{"a/flat": ints})
+    with pytest.raises(CorruptTangleError, match="'a'.*dtype"):
+        load_tangle(tampered)
+
+
+def test_load_rejects_missing_member(tangle, tmp_path):
+    from repro.dag import CorruptTangleError
+
+    path = save_tangle(tangle, tmp_path / "t.npz")
+    tampered = tamper(path, tmp_path, drop="a/flat")
+    with pytest.raises(CorruptTangleError, match="'a'.*missing"):
+        load_tangle(tampered)
+
+
+def test_corrupt_tangle_error_is_a_value_error(tangle, tmp_path):
+    """Pre-existing callers catch ValueError; the subclass keeps them."""
+    from repro.dag import CorruptTangleError
+
+    assert issubclass(CorruptTangleError, ValueError)
+    path = tmp_path / "other.npz"
+    np.savez(path, x=np.zeros(3))
+    with pytest.raises(CorruptTangleError):
+        load_tangle(path)

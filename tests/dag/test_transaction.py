@@ -41,3 +41,33 @@ def test_tags_are_instance_local():
     b = make_tx("b")
     a.tags["poisoned"] = True
     assert b.tags == {}
+
+
+# ------------------------------------------------ payload admission check
+def test_payload_error_accepts_sound_vector():
+    from repro.dag.transaction import payload_error
+    from repro.nn.serialization import FlatSpec
+
+    spec = FlatSpec(((2, 2), (3,)))
+    assert payload_error(np.zeros(7), spec) is None
+
+
+def test_payload_error_flags_shape_mismatch():
+    from repro.dag.transaction import payload_error
+    from repro.nn.serialization import FlatSpec
+
+    spec = FlatSpec(((2, 2), (3,)))
+    assert "shape" in payload_error(np.zeros(6), spec)
+    assert "shape" in payload_error(np.zeros((7, 1)), spec)
+
+
+def test_payload_error_flags_non_finite_values():
+    from repro.dag.transaction import payload_error
+    from repro.nn.serialization import FlatSpec
+
+    spec = FlatSpec(((2, 2), (3,)))
+    flat = np.zeros(7)
+    flat[1] = np.nan
+    flat[4] = np.inf
+    message = payload_error(flat, spec)
+    assert "2 non-finite values" in message

@@ -403,3 +403,105 @@ def test_view_cumulative_weights_batch_matches_scalar():
             view.cumulative_weights(visible),
             [view.cumulative_weight(tx_id) for tx_id in visible],
         )
+
+
+# ------------------------------------------- non-finite scores (defense)
+def test_nan_score_is_cached_not_mistaken_for_a_miss():
+    """Regression: NaN used to double as the memo's "unknown" sentinel,
+    so a score function legitimately returning NaN (a corrupted model)
+    was re-evaluated on every superstep that saw the node.  The explicit
+    scored-mask must query each node exactly once per call."""
+    tangle, ids = grow_tangle()
+    snapshot = snapshot_for(tangle)
+    scores = np.random.default_rng(5).random(len(ids))
+    queried: list[int] = []
+
+    def score_fn(nodes):
+        queried.extend(int(n) for n in nodes)
+        out = scores[nodes].copy()
+        out[:] = np.nan  # every score is "corrupt"
+        return out
+
+    finals = lockstep_walks(
+        snapshot,
+        batched_walk_starts(snapshot, 100, np.random.default_rng(6)),
+        score_fn,
+        alpha=5.0,
+        rng=np.random.default_rng(7),
+    )
+    assert all(tangle.is_tip(snapshot.ids[node]) for node in finals)
+    assert len(queried) == len(set(queried)), (
+        "a NaN-scored node must be queried at most once per call"
+    )
+
+
+def test_all_nan_scores_degrade_to_uniform_not_first_candidate():
+    """np.argmax treats NaN as maximal, so pre-fix a NaN candidate won
+    every superstep deterministically.  With every score NaN the walk
+    must degrade to a *uniform* choice: over many particles both
+    children of a fork get visits."""
+    tangle = Tangle(weights())
+    tangle.add(Transaction("a", (GENESIS_ID,), weights(), 0, 0))
+    tangle.add(Transaction("b", (GENESIS_ID,), weights(), 1, 0))
+    snapshot = snapshot_for(tangle)
+    finals = lockstep_walks(
+        snapshot,
+        np.zeros(200, dtype=np.int64),  # all particles start at genesis
+        lambda nodes: np.full(len(nodes), np.nan),
+        alpha=5.0,
+        rng=np.random.default_rng(3),
+    )
+    reached = {snapshot.ids[n] for n in finals}
+    assert reached == {"a", "b"}
+
+
+def test_non_finite_candidates_never_attract_the_walk():
+    """A corrupt (NaN or +inf scored) sibling must not bias the pick:
+    finite candidates keep their relative odds, the corrupt one gets
+    probability zero — in the vectorized path and the scalar tail."""
+    tangle = Tangle(weights())
+    for name, issuer in (("good", 0), ("bad", 1), ("ugly", 2)):
+        tangle.add(Transaction(name, (GENESIS_ID,), weights(), issuer, 0))
+    snapshot = snapshot_for(tangle)
+    table = {"genesis": 0.5, "good": 0.9, "bad": np.nan, "ugly": np.inf}
+    scores = np.array([table[tx_id] for tx_id in snapshot.ids])
+    for count in (1, 64):  # scalar tail finisher and vectorized path
+        finals = lockstep_walks(
+            snapshot,
+            np.zeros(count, dtype=np.int64),
+            lambda nodes: scores[nodes],
+            alpha=5.0,
+            rng=np.random.default_rng(11),
+        )
+        assert {snapshot.ids[n] for n in finals} == {"good"}, (
+            "only the finite candidate may be selected at high alpha"
+        )
+
+
+@pytest.mark.parametrize("normalization", ["standard", "dynamic"])
+def test_mixed_finite_and_corrupt_rows_keep_finite_arithmetic(normalization):
+    """One corrupt candidate in a row must not poison its siblings'
+    normalization (row max/spread are computed over finite scores only)."""
+    tangle, ids = grow_tangle(n=40, seed=21)
+    rng_scores = np.random.default_rng(22).random(len(ids))
+    corrupt = set(list(range(1, len(ids), 7)))
+
+    def score_fn(nodes):
+        out = rng_scores[nodes].copy()
+        for i, n in enumerate(nodes):
+            if int(n) in corrupt:
+                out[i] = np.nan
+        return out
+
+    finals = lockstep_walks(
+        snapshot_for(tangle),
+        batched_walk_starts(
+            snapshot_for(tangle), 50, np.random.default_rng(23)
+        ),
+        score_fn,
+        alpha=3.0,
+        normalization=normalization,
+        rng=np.random.default_rng(24),
+    )
+    snapshot = snapshot_for(tangle)
+    assert all(tangle.is_tip(snapshot.ids[node]) for node in finals)

@@ -96,3 +96,85 @@ def test_simulation_with_median_aggregation(tiny_fmnist, mlp_builder, fast_train
     )
     records = sim.run(3)
     assert records[-1].mean_accuracy >= 0.0
+
+
+# ------------------------------------------------- non-finite hardening
+def test_mean_masks_non_finite_coordinates():
+    result = mean_aggregate(
+        sets([1.0, np.nan, 2.0], [3.0, 4.0, np.inf], [5.0, 6.0, 4.0])
+    )
+    np.testing.assert_allclose(result[0], [3.0, 5.0, 3.0])
+
+
+def test_median_masks_non_finite_coordinates():
+    result = median_aggregate(
+        sets([1.0, np.nan, -np.inf], [3.0, 4.0, 2.0], [5.0, 6.0, 4.0])
+    )
+    np.testing.assert_allclose(result[0], [3.0, 5.0, 3.0])
+
+
+def test_trimmed_mean_masks_non_finite_coordinates():
+    # Coordinate 0: finite values 0,1,1,1,100 -> trim one each side -> 1.
+    # Coordinate 1: only three finite values survive, trim shrinks with
+    # them -> median-like middle value.
+    result = trimmed_mean_aggregate(
+        sets(
+            [0.0, np.nan],
+            [1.0, 0.0],
+            [1.0, np.inf],
+            [1.0, 2.0],
+            [100.0, 10.0],
+        ),
+        trim_fraction=0.2,
+    )
+    np.testing.assert_allclose(result[0], [1.0, 2.0])
+
+
+def test_all_non_finite_coordinate_aggregates_to_zero():
+    for name, aggregate in AGGREGATORS.items():
+        result = aggregate(sets([np.nan, 1.0], [np.inf, 3.0]))
+        np.testing.assert_allclose(result[0], [0.0, 2.0], err_msg=name)
+
+
+def test_one_fully_corrupt_model_degrades_gracefully():
+    """The tentpole guarantee: one corrupt reference shifts the merge,
+    it does not NaN-poison it."""
+    for aggregate in AGGREGATORS.values():
+        result = aggregate(
+            sets([1.0, 2.0, 3.0], [3.0, 4.0, 5.0], [np.nan] * 3)
+        )
+        assert np.isfinite(result[0]).all()
+        np.testing.assert_allclose(result[0], [2.0, 3.0, 4.0])
+
+
+def test_reference_aggregators_match_vectorized_on_non_finite_inputs(rng):
+    from repro.fl.aggregation import FLAT_AGGREGATORS, REFERENCE_AGGREGATORS
+
+    stacked = rng.normal(size=(5, 40))
+    bad = rng.random(stacked.shape) < 0.2
+    stacked[bad] = np.choose(
+        rng.integers(0, 3, int(bad.sum())), [np.nan, np.inf, -np.inf]
+    )
+    weight_sets = [[row[:25].reshape(5, 5), row[25:]] for row in stacked]
+    for name in AGGREGATORS:
+        vectorized = AGGREGATORS[name](weight_sets)
+        reference = REFERENCE_AGGREGATORS[name](weight_sets)
+        for v, r in zip(vectorized, reference):
+            np.testing.assert_allclose(v, r, err_msg=name)
+            assert np.isfinite(v).all()
+        flat = FLAT_AGGREGATORS[name](stacked)
+        assert np.isfinite(flat).all()
+        np.testing.assert_allclose(
+            flat, np.concatenate([a.ravel() for a in vectorized]), err_msg=name
+        )
+
+
+def test_clean_inputs_keep_bit_identical_fast_path(rng):
+    """Hardening must not perturb clean arithmetic by one bit."""
+    stacked = rng.normal(size=(4, 30))
+    from repro.fl.aggregation import FLAT_AGGREGATORS
+
+    assert (FLAT_AGGREGATORS["mean"](stacked) == stacked.mean(axis=0)).all()
+    assert (
+        FLAT_AGGREGATORS["median"](stacked) == np.median(stacked, axis=0)
+    ).all()

@@ -208,3 +208,36 @@ def test_tx_accuracies_personalization_falls_back(client):
     np.testing.assert_array_equal(
         batched, _sequential_reference(client, tangle, ids)
     )
+
+
+# ------------------------------------------------- non-finite hardening
+def test_accuracy_of_non_finite_weights_is_zero(client):
+    corrupt = [np.array(w, copy=True) for w in client.model.get_weights()]
+    corrupt[0].flat[0] = np.nan
+    before = client.evaluations
+    assert client.accuracy_of_weights(corrupt) == 0.0
+    assert client.evaluations == before + 1
+    corrupt[0].flat[0] = np.inf
+    assert client.accuracy_of_weights(corrupt) == 0.0
+
+
+def test_accuracy_of_non_finite_flat_is_zero(client):
+    flat = client.model.flat_spec.flatten(client.model.get_weights())
+    flat = np.array(flat, copy=True)
+    flat[3] = -np.inf
+    before = client.evaluations
+    assert client.accuracy_of_flat(flat) == 0.0
+    assert client.evaluations == before + 1
+
+
+def test_non_finite_guard_does_not_clobber_loaded_model(client):
+    """Scoring a corrupt vector must not leave NaN inside the model:
+    the guard rejects it before any weights are loaded."""
+    flat = client.model.flat_spec.flatten(client.model.get_weights())
+    healthy = client.accuracy_of_flat(flat)
+    corrupt = np.array(flat, copy=True)
+    corrupt[:] = np.nan
+    client.accuracy_of_flat(corrupt)
+    assert client.accuracy_of_flat(flat) == healthy
+    for w in client.model.get_weights():
+        assert np.isfinite(w).all()
