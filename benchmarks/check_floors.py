@@ -13,7 +13,10 @@ Recognized floor conventions (matching the emitters):
 
 - ``{"speedup": s, "floor": f}`` in one object
   (``BENCH_walk.json``, ``BENCH_walk_engine.json``, ``BENCH_training.json``,
-  ``BENCH_weights.json`` round_loop);
+  ``BENCH_weights.json`` round_loop, ``BENCH_substrate.json`` large
+  workload — the shared-memory substrate's parallel-beats-serial floor,
+  emitted only on multi-core runners where the win is physically
+  possible);
 - ``{"floor_<name>": f, "<name>": {"speedup": s}}`` — a floor naming a
   sibling sub-object (``BENCH_weights.json`` aggregation);
 - ``{"<stem>_floor": f, "...<stem>_speedup": s}`` — a suffixed floor

@@ -18,6 +18,23 @@ list-of-arrays path).  ``float32`` halves memory and IPC volume at the
 cost of rounding every stored model to single precision — evaluation
 accuracy is unaffected in practice, but results are no longer
 bit-comparable with float64 runs.
+
+**Shared-memory backing.**  :meth:`to_shared` migrates the slab into a
+named ``multiprocessing.shared_memory`` segment (one copy, bit-exact).
+From then on the arena's pickle form is an **attach-by-name handle** —
+uid, segment name, generation, row count — instead of the slab bytes,
+so shipping a round context to a pool worker costs a few hundred bytes
+no matter how many models the tangle holds.  Workers attach once per
+``(uid, segment)`` through :func:`repro.utils.shm.attach_cached` and
+reuse the mapping across rounds; capacity growth allocates a fresh,
+larger segment, copies the live rows, unlinks the old name and bumps
+``generation`` — a worker holding the superseded mapping keeps reading
+it safely (POSIX keeps unlinked mappings alive) and re-attaches when the
+next round's handle names the new segment.  Attached arenas are
+read-only: only the owning process interns.  :meth:`close` unlinks the
+owner's segment (idempotent; live views stay valid), and the
+:mod:`repro.utils.shm` registry unlinks anything left at interpreter
+exit.
 """
 
 from __future__ import annotations
@@ -25,8 +42,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.serialization import FlatSpec
+from repro.utils import shm as shm_registry
 
 __all__ = ["WeightArena"]
+
+#: Estimated pickle size of an attach-by-name handle (name, uid, shape
+#: metadata) — what a shared arena costs on the wire instead of its slab.
+HANDLE_NBYTES = 256
 
 
 class WeightArena:
@@ -38,6 +60,7 @@ class WeightArena:
         *,
         dtype: np.dtype | type = np.float64,
         initial_capacity: int = 16,
+        shared: bool = False,
     ):
         dtype = np.dtype(dtype)
         if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
@@ -46,13 +69,29 @@ class WeightArena:
             raise ValueError("initial_capacity must be >= 1")
         self.spec = spec
         self.dtype = dtype
-        self._slab = np.empty((initial_capacity, spec.total), dtype=dtype)
         self._rows = 0
-        # Bumped whenever the slab is reallocated (growth): holders of
-        # cached row views use it to notice their base buffer is a
-        # superseded generation and rebuild, so old slabs are not kept
-        # alive indefinitely through stale views.
+        self._shm = None  # SharedMemory backing the slab (None = heap)
+        self._attached = False  # True in worker processes (read-only)
+        self.uid: str | None = None
+        # Bumped whenever the slab moves (growth or shared migration):
+        # holders of cached row views use it to notice their base buffer
+        # is a superseded generation and rebuild, so old slabs are not
+        # kept alive indefinitely through stale views.
         self.generation = 0
+        if shared:
+            self.uid = shm_registry.new_uid()
+            self._shm = shm_registry.create_segment(
+                initial_capacity * spec.total * dtype.itemsize
+            )
+            self._slab = self._segment_slab(self._shm, initial_capacity)
+        else:
+            self._slab = np.empty((initial_capacity, spec.total), dtype=dtype)
+
+    def _segment_slab(self, segment, capacity: int) -> np.ndarray:
+        """Numpy view of ``capacity`` rows over a segment's buffer."""
+        return np.ndarray(
+            (capacity, self.spec.total), dtype=self.dtype, buffer=segment.buf
+        )
 
     # ------------------------------------------------------------- queries
     def __len__(self) -> int:
@@ -66,6 +105,22 @@ class WeightArena:
     def nbytes(self) -> int:
         """Bytes of live (written) rows."""
         return self._rows * self.spec.total * self.dtype.itemsize
+
+    @property
+    def is_shared(self) -> bool:
+        """True when the slab lives in a named shared-memory segment."""
+        return self._shm is not None
+
+    @property
+    def is_attached(self) -> bool:
+        """True for read-only worker-side attachments to another
+        process's segment."""
+        return self._attached
+
+    @property
+    def segment_name(self) -> str | None:
+        """Name of the backing segment (None for heap arenas)."""
+        return self._shm.name if self._shm is not None else None
 
     def row(self, index: int) -> np.ndarray:
         """Read-only 1-D view of one stored model."""
@@ -94,24 +149,115 @@ class WeightArena:
     # ------------------------------------------------------------ mutation
     def intern(self, flat: np.ndarray) -> int:
         """Copy a flat vector into the slab; returns its row index."""
+        if self._attached:
+            raise RuntimeError(
+                "cannot intern into a read-only attached arena; only the "
+                "owning process appends rows"
+            )
         flat = np.asarray(flat)
         if flat.shape != (self.spec.total,):
             raise ValueError(
                 f"expected a ({self.spec.total},) vector, got shape {flat.shape}"
             )
         if self._rows == self._slab.shape[0]:
-            grown = np.empty(
-                (max(2 * self._slab.shape[0], 1), self.spec.total), dtype=self.dtype
-            )
-            grown[: self._rows] = self._slab[: self._rows]
-            self._slab = grown
-            self.generation += 1
+            self._grow(max(2 * self._slab.shape[0], 1))
         self._slab[self._rows] = flat
         self._rows += 1
         return self._rows - 1
 
+    def _grow(self, capacity: int) -> None:
+        """Reallocate the slab to ``capacity`` rows (generation bump)."""
+        if self._shm is not None:
+            old = self._shm
+            grown_shm = shm_registry.create_segment(
+                capacity * self.spec.total * self.dtype.itemsize
+            )
+            grown = self._segment_slab(grown_shm, capacity)
+            grown[: self._rows] = self._slab[: self._rows]
+            self._slab = grown
+            self._shm = grown_shm
+            # The old name disappears from /dev/shm immediately; workers
+            # still mapping it keep reading valid memory and re-attach to
+            # the new name when the next handle arrives.
+            shm_registry.unlink_segment(old.name)
+        else:
+            grown = np.empty((capacity, self.spec.total), dtype=self.dtype)
+            grown[: self._rows] = self._slab[: self._rows]
+            self._slab = grown
+        self.generation += 1
+
+    # ------------------------------------------- shared-memory lifecycle
+    def to_shared(self) -> "WeightArena":
+        """Migrate the slab into a shared-memory segment (idempotent).
+
+        One bit-exact copy of the live rows plus the growth headroom;
+        bumps ``generation`` so cached row views rebuild against the new
+        buffer.  Returns ``self`` for chaining.
+        """
+        if self._shm is not None:
+            return self
+        if self._attached:
+            raise RuntimeError("attached arenas are already shared")
+        self.uid = shm_registry.new_uid()
+        segment = shm_registry.create_segment(
+            self.capacity * self.spec.total * self.dtype.itemsize
+        )
+        slab = self._segment_slab(segment, self.capacity)
+        slab[: self._rows] = self._slab[: self._rows]
+        self._slab = slab
+        self._shm = segment
+        self.generation += 1
+        return self
+
+    def close(self) -> None:
+        """Unlink the owned segment and revert to heap backing (idempotent).
+
+        The inverse of :meth:`to_shared`: live rows are copied back to a
+        heap slab (so the arena stays fully usable — and re-shareable —
+        afterwards, never pickling a handle to a name that no longer
+        exists), then the segment's name is unlinked.  Mappings held by
+        attached workers stay valid; the memory is reclaimed when the
+        last one is collected.  Attached arenas never unlink: the owner
+        does.
+        """
+        if self._shm is None or self._attached:
+            return
+        heap = np.empty((self.capacity, self.spec.total), dtype=self.dtype)
+        heap[: self._rows] = self._slab[: self._rows]
+        old_name = self._shm.name
+        self._slab = heap
+        self._shm = None
+        self.uid = None
+        self.generation += 1
+        shm_registry.unlink_segment(old_name)
+
+    def __enter__(self) -> "WeightArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------- cost model
+    def _cost_footprint(self, walk) -> tuple[int, int]:
+        """(bytes actually shipped, dense working-set bytes) — the
+        :mod:`repro.substrate.cost` hook."""
+        return (HANDLE_NBYTES if self._shm is not None else self.nbytes, self.nbytes)
+
     # ------------------------------------------------------------ pickling
     def __getstate__(self) -> dict:
+        if self._shm is not None:
+            # Attach-by-name handle: the receiver maps the segment, it
+            # never receives the bytes.
+            return {
+                "mode": "shm",
+                "uid": self.uid,
+                "name": self._shm.name,
+                "generation": self.generation,
+                "rows": self._rows,
+                "capacity": self.capacity,
+                "spec_shapes": self.spec.shapes,
+                "dtype": self.dtype.str,
+            }
         # Ship only the written rows, never the growth headroom: a pickled
         # arena is exactly one contiguous buffer of live models.
         return {
@@ -123,7 +269,23 @@ class WeightArena:
     def __setstate__(self, state: dict) -> None:
         self.spec = FlatSpec(state["spec_shapes"])
         self.dtype = np.dtype(state["dtype"])
+        if state.get("mode") == "shm":
+            self.uid = state["uid"]
+            segment = shm_registry.attach_cached(self.uid, state["name"])
+            self._shm = segment
+            self._attached = True
+            capacity = min(
+                state["capacity"],
+                segment.size // (self.spec.total * self.dtype.itemsize),
+            )
+            self._slab = self._segment_slab(segment, capacity)
+            self._rows = state["rows"]
+            self.generation = state["generation"]
+            return
         slab = state["slab"]
         self._slab = np.array(slab, dtype=self.dtype, copy=True)
         self._rows = slab.shape[0]
+        self._shm = None
+        self._attached = False
+        self.uid = None
         self.generation = 0

@@ -93,6 +93,43 @@ class Tangle:
         """The contiguous model-weight store."""
         return self._arena
 
+    # ------------------------------------------------- shared-memory plane
+    def share_memory(self) -> "Tangle":
+        """Move the model store into a shared-memory segment (idempotent).
+
+        After this, pickling the tangle ships transaction metadata plus an
+        attach-by-name arena handle instead of the slab bytes — the IPC
+        form the parallel substrate uses.  Values are bit-identical; only
+        the storage location changes.  Returns ``self`` for chaining.
+        """
+        self._arena.to_shared()
+        return self
+
+    def close(self) -> None:
+        """Release the arena's shared-memory segment, if any (idempotent).
+
+        Live views (this process's and attached workers') keep working;
+        the segment's name is removed so nothing leaks in ``/dev/shm``.
+        Heap-backed tangles have nothing to release.
+        """
+        self._arena.close()
+
+    def __enter__(self) -> "Tangle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _cost_footprint(self, walk) -> tuple[int, int]:
+        """(shipped bytes, dense bytes) for the substrate's router.
+
+        The arena dominates; transactions add per-object dict/metadata
+        overhead (ids, parents, tags) that ships regardless of backing.
+        """
+        arena_ipc, arena_dense = self._arena._cost_footprint(walk)
+        meta = 250 * len(self._transactions)
+        return arena_ipc + meta, arena_dense + meta
+
     def flat_weights(self, tx_id: str) -> np.ndarray:
         """A transaction's model as one flat vector (zero-copy when
         arena-resident)."""

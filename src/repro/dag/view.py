@@ -133,3 +133,8 @@ class TangleView:
         for approving, approved in self._tangle.approval_edges():
             if self._visible(approving) and self._visible(approved):
                 yield approving, approved
+
+    def _cost_footprint(self, walk) -> tuple[int, int]:
+        """Views ship their whole tangle plus a bound — delegate."""
+        ipc, dense = walk(self._tangle)
+        return ipc + 64, dense + 64

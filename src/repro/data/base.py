@@ -12,7 +12,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.utils import shm as shm_registry
+
 __all__ = ["ClientData", "FederatedDataset", "train_test_split"]
+
+#: The tensor fields a shared-memory export covers, in layout order.
+_TENSOR_FIELDS = ("x_train", "y_train", "x_test", "y_test")
+
+#: Estimated pickle size of a client's attach-by-name tensor handle.
+_HANDLE_NBYTES = 192
+
+
+def _align(offset: int, alignment: int = 16) -> int:
+    return (offset + alignment - 1) & ~(alignment - 1)
 
 
 def train_test_split(
@@ -66,6 +78,87 @@ class ClientData:
         """Sorted unique labels across this client's train and test data."""
         return np.unique(np.concatenate([self.y_train, self.y_test]))
 
+    # ------------------------------------------------- shared-memory plane
+    @property
+    def is_shared(self) -> bool:
+        """True when the tensors live in a shared-memory segment."""
+        return getattr(self, "_shm_handle", None) is not None
+
+    def share_memory(self) -> "ClientData":
+        """One-time export of the four tensors into one shared segment.
+
+        The arrays are copied once (bit-exact) into a named
+        ``multiprocessing.shared_memory`` segment and the fields replaced
+        by views into it; from then on pickling this object ships an
+        attach-by-name handle — ``(uid, segment, offsets)`` — instead of
+        the tensor bytes, so a persistent pool worker maps the data once
+        and reuses the mapping across rounds.  Idempotent; returns
+        ``self`` for chaining.  :meth:`close_shared` (or interpreter
+        exit) unlinks the segment; live views stay valid.
+        """
+        if self.is_shared:
+            return self
+        layout = []
+        offset = 0
+        for name in _TENSOR_FIELDS:
+            array = np.ascontiguousarray(getattr(self, name))
+            offset = _align(offset)
+            layout.append((name, array, offset, array.shape, array.dtype.str))
+            offset += array.nbytes
+        segment = shm_registry.create_segment(offset)
+        entries = []
+        for name, array, start, shape, dtype in layout:
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=start)
+            view[...] = array
+            setattr(self, name, view)
+            entries.append((name, start, shape, dtype))
+        self._shm_handle = {
+            "uid": shm_registry.new_uid(),
+            "name": segment.name,
+            "entries": entries,
+        }
+        return self
+
+    def close_shared(self) -> None:
+        """Unlink this client's segment and revert to heap tensors.
+
+        The inverse of :meth:`share_memory` (idempotent): the fields are
+        re-materialized as ordinary heap copies and the handle dropped,
+        so the object stays usable — and re-shareable — afterwards and
+        can never pickle a handle to an unlinked name.  Worker-side
+        mappings stay valid until collected.
+        """
+        handle = getattr(self, "_shm_handle", None)
+        if handle is None:
+            return
+        for name in _TENSOR_FIELDS:
+            setattr(self, name, np.array(getattr(self, name), copy=True))
+        self._shm_handle = None
+        shm_registry.unlink_segment(handle["name"])
+
+    def _cost_footprint(self, walk) -> tuple[int, int]:
+        """(shipped bytes, dense bytes) for the substrate's router."""
+        dense = sum(getattr(self, name).nbytes for name in _TENSOR_FIELDS)
+        return (_HANDLE_NBYTES if self.is_shared else dense), dense
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        if state.get("_shm_handle") is not None:
+            for name in _TENSOR_FIELDS:
+                del state[name]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        handle = state.get("_shm_handle")
+        self.__dict__.update(state)
+        if handle is not None:
+            segment = shm_registry.attach_cached(handle["uid"], handle["name"])
+            for name, start, shape, dtype in handle["entries"]:
+                view = np.ndarray(
+                    shape, dtype=dtype, buffer=segment.buf, offset=start
+                )
+                setattr(self, name, view)
+
 
 @dataclass
 class FederatedDataset:
@@ -93,6 +186,17 @@ class FederatedDataset:
             if c.client_id == client_id:
                 return c
         raise KeyError(f"no client with id {client_id}")
+
+    def share_memory(self) -> "FederatedDataset":
+        """Export every client's tensors to shared memory (idempotent)."""
+        for client in self.clients:
+            client.share_memory()
+        return self
+
+    def close_shared(self) -> None:
+        """Unlink every client's segment (idempotent)."""
+        for client in self.clients:
+            client.close_shared()
 
     def cluster_labels(self) -> dict[int, int]:
         """Map client id -> ground-truth cluster id."""

@@ -274,10 +274,51 @@ class Client:
         self._tx_accuracy_cache = dict(entries)
         self.cache_epoch += 1
 
+    def cache_mark(self) -> tuple[int, int]:
+        """Position marker ``(epoch, entry_count)`` for delta extraction.
+
+        Take one before a work unit runs; afterwards
+        :meth:`cache_entries_since` yields exactly the evaluations the
+        unit added — the only part of the cache worth shipping back
+        across a process boundary, since the coordinator's canonical
+        client already holds everything before the mark.
+        """
+        return (self.cache_epoch, len(self._tx_accuracy_cache))
+
+    def cache_entries_since(self, mark: tuple[int, int]) -> dict[str, float] | None:
+        """Entries added after ``mark``, or None when the cache was
+        reset/replaced since (the delta is no longer a pure suffix and
+        the full cache must ship instead).
+
+        Sound because the cache is append-only within an epoch and dicts
+        preserve insertion order: the delta is the suffix past the
+        marked length.
+        """
+        epoch, count = mark
+        if self.cache_epoch != epoch:
+            return None
+        items = list(self._tx_accuracy_cache.items())
+        return dict(items[count:])
+
+    def merge_tx_accuracy_cache(self, entries: dict[str, float]) -> None:
+        """Fold a worker's delta entries into the cache **without** an
+        epoch bump — the in-process equivalent is plain cache warming,
+        which mirrors (the walk engine's score memo) survive."""
+        self._tx_accuracy_cache.update(entries)
+
     def reset_cache(self) -> None:
         """Drop cached transaction evaluations (e.g. when data changes)."""
         self._tx_accuracy_cache.clear()
         self.cache_epoch += 1
+
+    def _cost_footprint(self, walk) -> tuple[int, int]:
+        """(shipped bytes, dense bytes) for the substrate's router:
+        data + model (memoized — shared architectures count once) plus
+        the evaluation cache."""
+        data_ipc, data_dense = walk(self.data)
+        model_ipc, model_dense = walk(self.model)
+        cache = 64 * len(self._tx_accuracy_cache) + 256
+        return data_ipc + model_ipc + cache, data_dense + model_dense + cache
 
     # ------------------------------------------------------------ training
     def train(

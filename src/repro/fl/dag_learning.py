@@ -47,12 +47,10 @@ from repro.nn.model import Classifier
 from repro.substrate import (
     ClientWorkUnit,
     Executor,
-    RoundContext,
     apply_result,
     build_selector,
-    execute_unit,
+    execute_round,
     make_executor,
-    run_training_plane_round,
 )
 from repro.utils.rng import RngFactory
 
@@ -118,8 +116,17 @@ class TangleLearning:
         self.history: list[RoundRecord] = []
 
     def close(self) -> None:
-        """Release executor resources (worker processes), if any."""
+        """Release executor resources (worker processes) and any
+        shared-memory segments the round state exported (idempotent)."""
         self.executor.close()
+        self.tangle.close()
+        self.dataset.close_shared()
+
+    def __enter__(self) -> "TangleLearning":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------ selectors
     def make_selector(
@@ -168,23 +175,6 @@ class TangleLearning:
             ).tolist()
         )
         record = RoundRecord(round_index=self.round_index, active_clients=active_ids)
-        # In-process executors mutate the canonical clients directly;
-        # snapshot/restore is only needed across process boundaries.
-        # Route-per-round executors (AutoExecutor) are asked about this
-        # specific round's size so serial-routed rounds skip the
-        # state-delta round-trip too.
-        route_probe = getattr(self.executor, "will_run_in_process", None)
-        in_process = (
-            route_probe(len(active_ids))
-            if route_probe is not None
-            else getattr(self.executor, "shares_memory", False)
-        )
-        context = RoundContext(
-            view=self._selection_view(),
-            config=self.dag_config,
-            rng_factory=self._rngs,
-            capture_state=not in_process,
-        )
         units = [
             ClientWorkUnit(
                 client_id=client_id,
@@ -193,25 +183,21 @@ class TangleLearning:
             )
             for client_id in active_ids
         ]
-        payloads = [
-            (
-                context,
-                None if unit.attack is not None else self.clients[unit.client_id],
-                unit,
-            )
-            for unit in units
-        ]
-        # With the training plane, walks still fan out per client but
-        # local SGD advances all participants in fused lockstep
-        # supersteps on the coordinator — bit-identical results either
-        # way (and across executors), so the commit loop below does not
-        # care which path produced them.
-        if self.dag_config.training_plane:
-            results = run_training_plane_round(
-                self.executor, context, payloads, self.clients
-            )
-        else:
-            results = self.executor.map(execute_unit, payloads)
+        # The substrate's shared coordinator half: exports the tangle
+        # arena and active clients' data to shared memory when the
+        # executor can fan out, probes the route (serial-routed rounds
+        # skip state capture), and dispatches through the training plane
+        # or plain unit mapping — bit-identical results on every path,
+        # so the commit loop below does not care which one ran.
+        results = execute_round(
+            self.executor,
+            tangle=self.tangle,
+            view=self._selection_view(),
+            config=self.dag_config,
+            rng_factory=self._rngs,
+            units=units,
+            clients=self.clients,
+        )
 
         for unit, result in zip(units, results):
             client_id = result.client_id

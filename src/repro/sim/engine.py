@@ -73,13 +73,11 @@ from repro.sim.config import SimConfig
 from repro.substrate import (
     ClientWorkUnit,
     Executor,
-    RoundContext,
     apply_result,
     build_selector,
-    execute_unit,
+    execute_round,
     make_executor,
     plan_client_job,
-    run_training_plane_round,
 )
 from repro.utils.rng import RngFactory
 
@@ -305,9 +303,18 @@ class EventDrivenTangleLearning:
         return sum(1 for event in self.events if event.kind == "train")
 
     def close(self) -> None:
-        """Release round-mode executor resources, if any were created."""
+        """Release round-mode executor resources and any shared-memory
+        segments the round state exported (idempotent)."""
         if self._round_executor is not None:
             self._round_executor.close()
+        self.tangle.close()
+        self.dataset.close_shared()
+
+    def __enter__(self) -> "EventDrivenTangleLearning":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def accuracy_timeline(self, bucket: float = 1.0) -> list[tuple[float, float]]:
         """Mean trained-model accuracy per time bucket (train events)."""
@@ -1088,23 +1095,11 @@ class EventDrivenTangleLearning:
             ).tolist()
         )
         record = RoundRecord(round_index=self.round_index, active_clients=active_ids)
-        route_probe = getattr(self._round_executor, "will_run_in_process", None)
-        in_process = (
-            route_probe(len(active_ids))
-            if route_probe is not None
-            else getattr(self._round_executor, "shares_memory", False)
-        )
         delay = self.dag_config.visibility_delay
         view = (
             self.tangle
             if delay <= 0
             else TangleView(self.tangle, self.round_index - 1 - delay)
-        )
-        context = RoundContext(
-            view=view,
-            config=self.dag_config,
-            rng_factory=self._rngs,
-            capture_state=not in_process,
         )
         attackers = self.sim_config.attackers
         units = [
@@ -1115,20 +1110,18 @@ class EventDrivenTangleLearning:
             )
             for client_id in active_ids
         ]
-        payloads = [
-            (
-                context,
-                None if unit.attack is not None else self.clients[unit.client_id],
-                unit,
-            )
-            for unit in units
-        ]
-        if self.dag_config.training_plane:
-            results = run_training_plane_round(
-                self._round_executor, context, payloads, self.clients
-            )
-        else:
-            results = self._round_executor.map(execute_unit, payloads)
+        # Shared coordinator half (same call TangleLearning makes):
+        # shared-memory export when the executor fans out, route probe,
+        # dispatch — results are bit-identical on every path.
+        results = execute_round(
+            self._round_executor,
+            tangle=self.tangle,
+            view=view,
+            config=self.dag_config,
+            rng_factory=self._rngs,
+            units=units,
+            clients=self.clients,
+        )
 
         barrier_time = float(self.round_index + 1)
         self.now = barrier_time

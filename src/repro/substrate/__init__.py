@@ -27,6 +27,7 @@ See ``docs/architecture.md`` for the layer map and a walkthrough of one
 round through this substrate.
 """
 
+from repro.substrate.cost import estimate_payload
 from repro.substrate.executor import (
     AutoExecutor,
     Executor,
@@ -44,8 +45,10 @@ from repro.substrate.round_plan import (
     apply_result,
     build_selector,
     execute_prep_unit,
+    execute_round,
     execute_unit,
     plan_client_job,
+    probe_in_process,
     run_training_plane_round,
 )
 
@@ -55,6 +58,7 @@ __all__ = [
     "ParallelExecutor",
     "AutoExecutor",
     "available_cores",
+    "estimate_payload",
     "make_executor",
     "ClientWorkUnit",
     "ClientStateDelta",
@@ -64,6 +68,8 @@ __all__ = [
     "build_selector",
     "execute_unit",
     "execute_prep_unit",
+    "execute_round",
+    "probe_in_process",
     "apply_result",
     "plan_client_job",
     "run_training_plane_round",

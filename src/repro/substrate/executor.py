@@ -16,7 +16,10 @@ import math
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Protocol, Sequence, TypeVar
+
+from repro.substrate.cost import estimate_payload
 
 __all__ = [
     "Executor",
@@ -96,10 +99,22 @@ class ParallelExecutor:
     serialized once per chunk rather than once per unit — with the
     flat-weight plane, the shared :class:`RoundContext`'s tangle pickles
     its whole model store as **one contiguous arena slab** per chunk
-    instead of one small array per layer per transaction, and each
-    result returns at most one model vector.  ``chunksize`` overrides
-    the default one-chunk-per-worker split (useful when unit runtimes
-    are very uneven).
+    instead of one small array per layer per transaction (or, once the
+    tangle has been :meth:`~repro.dag.tangle.Tangle.share_memory`'d, as
+    a few-hundred-byte attach-by-name handle), and each result returns
+    at most one model vector.  ``chunksize`` overrides the default
+    one-chunk-per-worker split (useful when unit runtimes are very
+    uneven).
+
+    **Worker-crash resilience.**  A worker dying mid-round (OOM killer,
+    segfault, ``os._exit``) breaks the whole pool —
+    :class:`~concurrent.futures.process.BrokenProcessPool`.  Because
+    work units are pure functions of their pickled payload (workers
+    never mutate coordinator state), the round can be re-run serially
+    in-process with bit-identical results: :meth:`map` does exactly
+    that, discards the broken pool (a fresh one is created lazily on
+    the next round), and records the event in
+    ``mode_counts["fallback"]``.
     """
 
     shares_memory = False
@@ -112,6 +127,8 @@ class ParallelExecutor:
         self.parallelism = workers or (os.cpu_count() or 2)
         self.chunksize = chunksize
         self._pool: ProcessPoolExecutor | None = None
+        self.mode_counts = {"parallel": 0, "fallback": 0}
+        self.last_mode: str | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -131,7 +148,28 @@ class ParallelExecutor:
         if len(items) == 1:  # pool overhead buys nothing
             return [fn(items[0])]
         chunksize = self.chunksize or max(1, math.ceil(len(items) / self.parallelism))
-        return list(self._ensure_pool().map(fn, items, chunksize=chunksize))
+        try:
+            results = list(self._ensure_pool().map(fn, items, chunksize=chunksize))
+        except BrokenProcessPool:
+            # A worker died mid-round.  Nothing it did is visible to the
+            # coordinator (workers only mutate their pickled copies), so
+            # re-running the whole batch serially in-process is
+            # bit-identical to a successful parallel round.
+            self._discard_broken_pool()
+            self.last_mode = "fallback"
+            self.mode_counts["fallback"] += 1
+            return [fn(item) for item in items]
+        self.last_mode = "parallel"
+        self.mode_counts["parallel"] += 1
+        return results
+
+    def _discard_broken_pool(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False)
+            except Exception:
+                pass
+            self._pool = None
 
     def close(self) -> None:
         if self._pool is not None:
@@ -157,16 +195,33 @@ class AutoExecutor:
     The process pool only pays off when (a) the machine has at least two
     usable cores — on a single-core box time-slicing makes a parallel
     win physically impossible, the regression ``BENCH_substrate.json``
-    recorded — and (b) the round plan has enough units to amortize
-    pickling and pool coordination.  ``AutoExecutor`` checks both per
-    ``map`` call: rounds below ``min_units`` (or any round on a
-    single-core machine) run on an in-process :class:`SerialExecutor`;
-    larger rounds fan out over a lazily created machine-sized
+    recorded — (b) the round plan has enough units to amortize pool
+    coordination, and (c) the *bytes* work out: what crosses the process
+    boundary must be small relative to the work the units represent.
+    The old router could only see the unit count; this one runs the
+    :func:`repro.substrate.cost.estimate_payload` cost model over the
+    actual payloads, producing ``(ipc, dense)`` — bytes that would
+    pickle vs. the dense working set the units touch — and routes
+    serial when
+
+    - the machine is single-core (unless ``workers`` overrides), or
+    - the batch has fewer than ``min_units`` items, or
+    - ``ipc`` exceeds ``ipc_budget`` (shipping the payload would cost
+      more than the pool saves; an *unshared* tangle or dataset lands
+      here, which is why coordinators export to shared memory before
+      routing), or
+    - ``dense`` is below ``min_work_bytes`` (the round's working set is
+      too small for per-unit compute to amortize coordination).
+
+    Larger rounds fan out over a lazily created machine-sized
     :class:`ParallelExecutor`.  Because work units draw from keyed rng
     streams, the route cannot affect results — only wall-clock.
 
-    ``mode_counts`` / ``last_mode`` record the decisions so benchmarks
-    and experiments can report which mode auto picked.
+    ``mode_counts`` / ``last_mode`` record the decisions (including
+    mid-round worker-crash ``"fallback"`` degradations, see
+    :class:`ParallelExecutor`) so benchmarks and experiments can report
+    which mode auto picked; ``last_estimate`` keeps the most recent
+    ``(ipc, dense)`` pair.
 
     Passing ``workers`` explicitly is an override of the machine
     sizing, *including* the single-core guard: ``AutoExecutor(workers=2)``
@@ -174,48 +229,89 @@ class AutoExecutor:
     machine.  Leave it unset to get the guarded default.
     """
 
-    def __init__(self, *, workers: int | None = None, min_units: int = 4):
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        min_units: int = 4,
+        ipc_budget: int = 8 << 20,
+        min_work_bytes: int = 1 << 20,
+    ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if min_units < 1:
             raise ValueError(f"min_units must be >= 1, got {min_units}")
+        if ipc_budget < 0 or min_work_bytes < 0:
+            raise ValueError("ipc_budget and min_work_bytes must be >= 0")
         self.cores = available_cores()
         self.parallelism = workers or (self.cores if self.cores >= 2 else 1)
         self.min_units = min_units
+        self.ipc_budget = ipc_budget
+        self.min_work_bytes = min_work_bytes
         self._serial = SerialExecutor()
         self._parallel: ParallelExecutor | None = None
-        self.mode_counts = {"serial": 0, "parallel": 0}
+        self.mode_counts = {"serial": 0, "parallel": 0, "fallback": 0}
         self.last_mode: str | None = None
+        self.last_estimate: tuple[int, int] | None = None
 
     @property
     def shares_memory(self) -> bool:
         # Only claim in-process execution when parallel routing is
         # impossible; otherwise coordinators that cannot predict the
-        # batch size must capture state deltas, because any given round
-        # may cross a process boundary.  Coordinators that do know the
-        # batch size should ask :meth:`will_run_in_process` instead and
+        # batch must capture state deltas, because any given round may
+        # cross a process boundary.  Coordinators that do hold the
+        # payloads should ask :meth:`will_run_in_process_payloads` and
         # skip the snapshot/restore round-trip for serial-routed rounds.
         return self.parallelism == 1
 
-    def will_run_in_process(self, unit_count: int) -> bool:
-        """Whether a ``map`` over ``unit_count`` items stays in-process.
+    def _route_in_process(self, items: Sequence) -> bool:
+        """The routing decision :meth:`map` uses — True means serial.
 
-        Mirrors :meth:`map`'s routing exactly, so a coordinator can
-        decide per round whether worker state deltas are needed.
+        Deterministic in the payloads, so probing before ``map`` with
+        the same items always agrees with the dispatch itself.
+        """
+        if self.parallelism == 1 or len(items) < self.min_units:
+            return True
+        ipc, dense = estimate_payload(items)
+        self.last_estimate = (ipc, dense)
+        return ipc > self.ipc_budget or dense < self.min_work_bytes
+
+    def will_run_in_process(self, unit_count: int) -> bool:
+        """Count-only probe: True when ``unit_count`` items *certainly*
+        stay in-process.
+
+        Without seeing the payloads this can only decide the cheap
+        directions (single-core, below ``min_units``); a False here
+        means "may go parallel" — the byte thresholds can still route
+        the actual ``map`` serially, which is safe for coordinators
+        (capturing state for an in-process round wastes a copy but
+        cannot corrupt results).  Coordinators holding the payloads
+        should prefer :meth:`will_run_in_process_payloads`, which
+        mirrors :meth:`map` exactly.
         """
         return self.parallelism == 1 or unit_count < self.min_units
 
+    def will_run_in_process_payloads(self, items: Sequence) -> bool:
+        """Payload-aware probe: mirrors :meth:`map`'s routing exactly."""
+        return self._route_in_process(items)
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         items = list(items)
-        if self.will_run_in_process(len(items)):
+        if self._route_in_process(items):
             self.last_mode = "serial"
             self.mode_counts["serial"] += 1
             return self._serial.map(fn, items)
         if self._parallel is None:
             self._parallel = ParallelExecutor(workers=self.parallelism)
-        self.last_mode = "parallel"
-        self.mode_counts["parallel"] += 1
-        return self._parallel.map(fn, items)
+        fallbacks_before = self._parallel.mode_counts["fallback"]
+        results = self._parallel.map(fn, items)
+        if self._parallel.mode_counts["fallback"] > fallbacks_before:
+            self.last_mode = "fallback"
+            self.mode_counts["fallback"] += 1
+        else:
+            self.last_mode = "parallel"
+            self.mode_counts["parallel"] += 1
+        return results
 
     def close(self) -> None:
         if self._parallel is not None:

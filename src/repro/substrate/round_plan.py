@@ -64,6 +64,8 @@ __all__ = [
     "build_selector",
     "execute_unit",
     "execute_prep_unit",
+    "execute_round",
+    "probe_in_process",
     "apply_result",
     "plan_client_job",
     "run_training_plane_round",
@@ -133,12 +135,38 @@ class ClientStateDelta:
     ran on a pickled copy; the delta is how the coordinator's client
     catches up).  In-process executors mutate the canonical client
     directly and skip the snapshot (``RoundContext.capture_state``).
+
+    ``cache_entries`` is **delta-only** in the common case: the
+    evaluations the unit *added* (``Client.cache_entries_since`` against
+    a mark taken at unit start), merged into the canonical cache without
+    an epoch bump — exactly what in-process warming does.  A unit that
+    reset its cache mid-flight (personal-tail adoption) cannot express
+    itself as a suffix; it ships the full post-reset cache with
+    ``cache_replace=True`` and is restored wholesale (with the epoch
+    bump the serial path's reset performed).  Either way, what crosses
+    the boundary is what changed — a warmed thousand-entry cache no
+    longer re-ships every round.
     """
 
     rng_state: dict
-    tx_accuracy_cache: dict[str, float]
+    cache_entries: dict[str, float]
+    cache_replace: bool
     evaluations: int
     personal_tail: list[np.ndarray] | None
+
+
+def _capture_state_delta(
+    client: "Client", cache_mark: tuple[int, int]
+) -> ClientStateDelta:
+    """Snapshot what a unit changed on its (copied) client."""
+    entries = client.cache_entries_since(cache_mark)
+    return ClientStateDelta(
+        rng_state=client.rng.bit_generator.state,
+        cache_entries=client.tx_accuracy_cache() if entries is None else entries,
+        cache_replace=entries is None,
+        evaluations=client.evaluations,
+        personal_tail=client.personal_tail,
+    )
 
 
 @dataclass
@@ -274,6 +302,7 @@ def execute_unit(payload: tuple[RoundContext, "Client | None", ClientWorkUnit]) 
     if unit.attack is not None:
         return _execute_attack(context, unit, walk_rng)
     assert client is not None
+    cache_mark = client.cache_mark()
 
     tips, reference, reference_accuracy, walk_duration, evaluations = (
         _run_walk_phase(context, client, walk_rng)
@@ -286,12 +315,7 @@ def execute_unit(payload: tuple[RoundContext, "Client | None", ClientWorkUnit]) 
     publish = (not config.publish_gate) or test_accuracy >= reference_accuracy
     state = None
     if context.capture_state:
-        state = ClientStateDelta(
-            rng_state=client.rng.bit_generator.state,
-            tx_accuracy_cache=client.tx_accuracy_cache(),
-            evaluations=client.evaluations,
-            personal_tail=client.personal_tail,
-        )
+        state = _capture_state_delta(client, cache_mark)
     return ClientRoundResult(
         client_id=unit.client_id,
         publish=publish,
@@ -310,7 +334,10 @@ def execute_unit(payload: tuple[RoundContext, "Client | None", ClientWorkUnit]) 
 def _apply_state_delta(client: "Client", delta: ClientStateDelta) -> None:
     """Transfer a worker copy's advanced state onto the canonical client."""
     client.rng.bit_generator.state = delta.rng_state
-    client.restore_tx_accuracy_cache(delta.tx_accuracy_cache)
+    if delta.cache_replace:
+        client.restore_tx_accuracy_cache(delta.cache_entries)
+    else:
+        client.merge_tx_accuracy_cache(delta.cache_entries)
     client.evaluations = delta.evaluations
     client.personal_tail = delta.personal_tail
 
@@ -325,6 +352,90 @@ def apply_result(client: "Client", result: ClientRoundResult) -> None:
     """
     if result.state is not None:
         _apply_state_delta(client, result.state)
+
+
+def probe_in_process(executor, payloads: list) -> bool:
+    """Whether mapping ``payloads`` will stay in the calling process.
+
+    Prefers the payload-aware probe (mirrors an
+    :class:`~repro.substrate.executor.AutoExecutor`'s byte-cost routing
+    exactly), falls back to the count-only probe, then to the static
+    ``shares_memory`` flag.  Coordinators use the answer to decide
+    ``RoundContext.capture_state``: the only unsafe mistake is claiming
+    in-process for a round that crosses a boundary, and every fallback
+    here errs the other way.
+    """
+    payload_probe = getattr(executor, "will_run_in_process_payloads", None)
+    if payload_probe is not None:
+        return payload_probe(payloads)
+    count_probe = getattr(executor, "will_run_in_process", None)
+    if count_probe is not None:
+        return count_probe(len(payloads))
+    return getattr(executor, "shares_memory", False)
+
+
+def execute_round(
+    executor,
+    *,
+    tangle,
+    view,
+    config: DagConfig,
+    rng_factory: RngFactory,
+    units: list[ClientWorkUnit],
+    clients: dict[int, "Client"],
+) -> list[ClientRoundResult]:
+    """Run one planned round through ``executor`` — the coordinator half
+    shared by both simulators (:class:`~repro.fl.dag_learning.
+    TangleLearning` and :class:`~repro.sim.engine.TangleSim`).
+
+    When the executor can fan out (``parallelism > 1``), the round's
+    heavyweight state is exported to shared memory *before* anything
+    else: the tangle's weight arena (:meth:`~repro.dag.tangle.Tangle.
+    share_memory`) and each active client's dataset tensors — both
+    idempotent, so steady-state rounds pay a dictionary check.  From
+    then on pickling a payload ships attach-by-name handles plus the
+    per-round scalars, not the slabs.  The ordering matters for the
+    router too: the cost model must see the payloads *after* export,
+    otherwise an unshared tangle prices every round out of the pool and
+    the segments would never pay off.
+
+    The executor is then probed (:func:`probe_in_process`) so
+    serial-routed rounds skip the state snapshot/capture round-trip,
+    and the units dispatch through the training plane or a plain
+    :func:`execute_unit` map.  The caller folds results back
+    (:func:`apply_result`) and commits publications; results arrive in
+    unit order either way.
+    """
+    if getattr(executor, "parallelism", 1) > 1:
+        share = getattr(tangle, "share_memory", None)
+        if share is not None:
+            share()
+        for unit in units:
+            if unit.attack is None:
+                clients[unit.client_id].data.share_memory()
+
+    def build_payloads(context: RoundContext) -> list[tuple]:
+        return [
+            (
+                context,
+                None if unit.attack is not None else clients[unit.client_id],
+                unit,
+            )
+            for unit in units
+        ]
+
+    context = RoundContext(
+        view=view, config=config, rng_factory=rng_factory, capture_state=True
+    )
+    payloads = build_payloads(context)
+    if probe_in_process(executor, payloads):
+        context = RoundContext(
+            view=view, config=config, rng_factory=rng_factory, capture_state=False
+        )
+        payloads = build_payloads(context)
+    if config.training_plane:
+        return run_training_plane_round(executor, context, payloads, clients)
+    return executor.map(execute_unit, payloads)
 
 
 # --------------------------------------------------------------------------
@@ -379,6 +490,7 @@ def execute_prep_unit(
             attack_result=_execute_attack(context, unit, walk_rng),
         )
     assert client is not None
+    cache_mark = client.cache_mark()
 
     tips, reference, reference_accuracy, walk_duration, evaluations = (
         _run_walk_phase(context, client, walk_rng)
@@ -386,12 +498,7 @@ def execute_prep_unit(
 
     state = None
     if context.capture_state:
-        state = ClientStateDelta(
-            rng_state=client.rng.bit_generator.state,
-            tx_accuracy_cache=client.tx_accuracy_cache(),
-            evaluations=client.evaluations,
-            personal_tail=client.personal_tail,
-        )
+        state = _capture_state_delta(client, cache_mark)
     return ClientPrepResult(
         client_id=unit.client_id,
         tips=tuple(tips),

@@ -1,0 +1,175 @@
+"""Process-shared memory segments with explicit, leak-proof lifecycle.
+
+The parallel substrate's zero-copy plane: the :class:`~repro.dag.arena.
+WeightArena` slab and every client's dataset tensors live in named
+``multiprocessing.shared_memory`` segments, so crossing a process
+boundary ships a **name**, not the bytes.  This module owns the two
+sides of that protocol:
+
+- the **owner** side (the coordinator): :func:`create_segment` allocates
+  a named segment and records it in a per-process registry;
+  :func:`unlink_segment` removes its filesystem name (idempotent), and
+  :func:`release_all` — registered with :mod:`atexit` — guarantees no
+  segment this process created outlives the interpreter;
+- the **attach** side (pool workers): :func:`attach_cached` maps a
+  segment by name once and caches the mapping keyed by the owning
+  object's ``uid``, so a persistent worker re-attaches only when the
+  owner republished a new segment (capacity growth) — per-round cost is
+  a dictionary lookup, not an ``mmap``.
+
+Names carry a recognizable prefix plus the creating pid
+(``repro-shm-<pid>-<seq>-<nonce>``), so test harnesses and CI can
+assert that a run left nothing behind in ``/dev/shm``
+(:func:`segment_prefix`, :func:`owned_segment_names`).
+
+Unlinking never invalidates live mappings (POSIX semantics): readers
+holding numpy views into an unlinked segment keep working, and the
+memory is returned when the last mapping is garbage-collected.  That is
+why stale attachments are simply *dropped*, never force-closed — an
+explicit ``close()`` under live numpy views raises ``BufferError``.
+
+The registry records the creating pid so that ``fork``-spawned workers,
+which inherit the parent's module state, can never unlink segments the
+parent still owns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+
+__all__ = [
+    "create_segment",
+    "attach_segment",
+    "attach_cached",
+    "unlink_segment",
+    "release_all",
+    "owned_segment_names",
+    "segment_prefix",
+    "new_uid",
+]
+
+_PREFIX = "repro-shm"
+
+#: Segments created by THIS process: name -> (creating pid, SharedMemory).
+_owned: dict[str, tuple[int, shared_memory.SharedMemory]] = {}
+
+#: Attachments made by this process: owner uid -> (segment name, SharedMemory).
+_attached: dict[str, tuple[str, shared_memory.SharedMemory]] = {}
+
+_counter = 0
+
+
+def segment_prefix() -> str:
+    """The name prefix of every segment this library creates."""
+    return _PREFIX
+
+
+def new_uid() -> str:
+    """A stable identity for an object that republishes segments over time.
+
+    Attach caches key on the uid, so a new *generation* (new segment
+    name, same uid) replaces the old mapping instead of piling up.
+    """
+    return f"{os.getpid()}-{secrets.token_hex(6)}"
+
+
+def _untrack(name: str) -> None:
+    """Drop a segment from the resource tracker's bookkeeping.
+
+    Attach-side mappings must not be tracked: with the ``fork`` start
+    method, pool workers share the parent's tracker, and attach-side
+    registrations would make worker exits look like leaks (and, at
+    interpreter shutdown, unlink segments the owner still serves).
+    Owner-side registrations are *kept* so a hard-killed coordinator
+    still gets its segments reaped by the tracker.
+    """
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # tracker layouts differ across versions; best-effort
+        pass
+
+
+def _retrack(name: str) -> None:
+    """Re-register a segment right before the owner unlinks it.
+
+    The tracker's cache is one shared *set* across fork-children: a
+    worker's attach-side :func:`_untrack` also erases the owner's
+    registration, so the owner's eventual ``unlink()`` would send an
+    unbalanced unregister and the tracker process would print a
+    ``KeyError`` traceback.  Registering is idempotent; doing it just
+    before unlink keeps the pair balanced and the tracker silent.
+    """
+    try:
+        resource_tracker.register(f"/{name}", "shared_memory")
+    except Exception:  # best-effort, mirroring _untrack
+        pass
+
+
+def create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Allocate a new named segment of at least ``nbytes`` bytes."""
+    global _counter
+    _counter += 1
+    name = f"{_PREFIX}-{os.getpid()}-{_counter}-{secrets.token_hex(4)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+    _owned[name] = (os.getpid(), shm)
+    return shm
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment by name (untracked; see :func:`_untrack`)."""
+    shm = shared_memory.SharedMemory(name=name)
+    _untrack(name)
+    return shm
+
+
+def attach_cached(uid: str, name: str) -> shared_memory.SharedMemory:
+    """Attach once per ``(uid, name)``; later calls are dictionary lookups.
+
+    When ``uid`` was previously attached under a *different* name (the
+    owner grew and republished), the stale mapping is dropped from the
+    cache — garbage collection unmaps it once the last view dies.
+    """
+    cached = _attached.get(uid)
+    if cached is not None and cached[0] == name:
+        return cached[1]
+    shm = attach_segment(name)
+    _attached[uid] = (name, shm)
+    return shm
+
+
+def unlink_segment(name: str) -> None:
+    """Remove a segment's name from the filesystem (idempotent).
+
+    Only acts on segments created by the *current* process — a forked
+    worker inheriting the registry must never reap its parent's
+    segments.  Live mappings (local or in workers) stay valid.
+    """
+    entry = _owned.pop(name, None)
+    if entry is None:
+        return
+    pid, shm = entry
+    if pid != os.getpid():
+        return
+    _retrack(name)
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def owned_segment_names() -> set[str]:
+    """Names of segments created (and not yet unlinked) by this process."""
+    pid = os.getpid()
+    return {name for name, (owner, _) in _owned.items() if owner == pid}
+
+
+def release_all() -> None:
+    """Unlink every segment this process still owns (atexit safety net)."""
+    for name in list(_owned):
+        unlink_segment(name)
+
+
+atexit.register(release_all)

@@ -2,12 +2,51 @@
 
 from __future__ import annotations
 
+import gc
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.data import make_fmnist_clustered
 from repro.fl import DagConfig, TangleLearning, TrainingConfig
 from repro.nn import zoo
+from repro.utils import shm as shm_registry
+
+
+def _shm_dir_segments() -> set[str]:
+    """Names of this library's segments currently present in /dev/shm."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # platform without a visible shm filesystem
+        return set()
+    prefix = shm_registry.segment_prefix()
+    return {p.name for p in shm_dir.iterdir() if p.name.startswith(prefix)}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shm_leak_guard():
+    """No shared-memory segment created by this session may survive it.
+
+    The substrate's whole lifecycle story — arenas unlinked on growth
+    and close, dataset segments reaped by the registry, attach-side
+    mappings untracked — collapses into one observable invariant:
+    after every test has run and the registry released what it owns,
+    ``/dev/shm`` holds no segment this session created.  Segments
+    carrying other pids' names (a concurrently running session) are
+    ignored.
+    """
+    before = _shm_dir_segments()
+    yield
+    # Views into segments may be kept alive by test-local cycles; drop
+    # them before the registry releases so nothing is resurrected.
+    gc.collect()
+    shm_registry.release_all()
+    mine = f"{shm_registry.segment_prefix()}-{os.getpid()}-"
+    leaked = {
+        name for name in _shm_dir_segments() - before if name.startswith(mine)
+    }
+    assert not leaked, f"shared-memory segments leaked by this session: {sorted(leaked)}"
 
 
 @pytest.fixture

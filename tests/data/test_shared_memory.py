@@ -1,0 +1,128 @@
+"""ClientData/FederatedDataset shared-memory export and attach protocol."""
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.base import ClientData, FederatedDataset
+
+
+@pytest.fixture
+def client(rng):
+    return ClientData(
+        client_id=3,
+        x_train=rng.normal(size=(20, 16)),
+        y_train=rng.integers(0, 10, size=20),
+        x_test=rng.normal(size=(4, 16)),
+        y_test=rng.integers(0, 10, size=4),
+        cluster_id=1,
+        metadata={"tags": {"k": "v"}},
+    )
+
+
+def segment_exists(name: str) -> bool:
+    return Path("/dev/shm", name).exists()
+
+
+def snapshot(cd: ClientData) -> list[np.ndarray]:
+    return [np.array(t, copy=True) for t in (cd.x_train, cd.y_train, cd.x_test, cd.y_test)]
+
+
+def assert_tensors_equal(cd: ClientData, tensors: list[np.ndarray]) -> None:
+    for got, want in zip((cd.x_train, cd.y_train, cd.x_test, cd.y_test), tensors):
+        np.testing.assert_array_equal(got, want)
+        assert got.dtype == want.dtype
+
+
+def test_share_memory_is_idempotent_and_bit_exact(client):
+    before = snapshot(client)
+    assert not client.is_shared
+    assert client.share_memory() is client
+    assert client.is_shared
+    name = client._shm_handle["name"]
+    assert client.share_memory() is client  # second call: no new segment
+    assert client._shm_handle["name"] == name
+    assert_tensors_equal(client, before)
+    client.close_shared()
+
+
+def test_shared_pickle_ships_handle_not_tensors(client):
+    dense = sum(t.nbytes for t in snapshot(client))
+    heap_payload = pickle.dumps(client)
+    client.share_memory()
+    try:
+        shared_payload = pickle.dumps(client)
+        assert len(shared_payload) < len(heap_payload) - dense // 2
+        restored = pickle.loads(shared_payload)
+        assert restored.is_shared
+        assert_tensors_equal(restored, snapshot(client))
+        assert restored.client_id == 3 and restored.cluster_id == 1
+        assert restored.metadata == {"tags": {"k": "v"}}
+        # the restored views alias the owner's memory, not copies of it:
+        # a write through one mapping is visible through the other
+        original = restored.x_train[0, 0]
+        client.x_train[0, 0] = original + 1.0
+        assert restored.x_train[0, 0] == original + 1.0
+        client.x_train[0, 0] = original
+    finally:
+        client.close_shared()
+
+
+def test_close_shared_reverts_to_heap_and_reshares(client):
+    before = snapshot(client)
+    client.share_memory()
+    name = client._shm_handle["name"]
+    client.close_shared()
+    assert not client.is_shared
+    assert not segment_exists(name)
+    assert_tensors_equal(client, before)
+    # a later pickle must NOT carry a handle to the unlinked name
+    restored = pickle.loads(pickle.dumps(client))
+    assert not restored.is_shared
+    assert_tensors_equal(restored, before)
+    # and the object can be exported again, under a fresh segment
+    client.share_memory()
+    assert client._shm_handle["name"] != name
+    client.close_shared()
+    client.close_shared()  # idempotent
+
+
+def test_dataset_share_memory_covers_every_client(rng):
+    clients = [
+        ClientData(
+            client_id=i,
+            x_train=rng.normal(size=(6, 4)),
+            y_train=rng.integers(0, 3, size=6),
+            x_test=rng.normal(size=(2, 4)),
+            y_test=rng.integers(0, 3, size=2),
+            cluster_id=0,
+        )
+        for i in range(3)
+    ]
+    ds = FederatedDataset(name="t", num_classes=3, num_clusters=1, clients=clients)
+    tensors = [snapshot(c) for c in clients]
+    assert ds.share_memory() is ds
+    assert all(c.is_shared for c in ds.clients)
+    for c, t in zip(ds.clients, tensors):
+        assert_tensors_equal(c, t)
+    ds.close_shared()
+    assert not any(c.is_shared for c in ds.clients)
+    for c, t in zip(ds.clients, tensors):
+        assert_tensors_equal(c, t)
+
+
+def test_cost_footprint_collapses_when_shared(client):
+    from repro.substrate import estimate_payload
+
+    dense = sum(t.nbytes for t in snapshot(client))
+    heap_ipc, heap_dense = estimate_payload([client])
+    assert heap_ipc >= dense and heap_dense >= dense
+    client.share_memory()
+    try:
+        shared_ipc, shared_dense = estimate_payload([client])
+        assert shared_ipc < 1024  # a handle, not the tensors
+        assert shared_dense >= dense  # the work estimate is unchanged
+    finally:
+        client.close_shared()

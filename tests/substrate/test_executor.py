@@ -69,13 +69,15 @@ def test_auto_small_batches_route_serial():
         assert ex.will_run_in_process(3) and not ex.will_run_in_process(4)
         assert ex.map(square, [1, 2, 3]) == [1, 4, 9]
         assert ex.last_mode == "serial"
-        assert ex.mode_counts == {"serial": 1, "parallel": 0}
+        assert ex.mode_counts == {"serial": 1, "parallel": 0, "fallback": 0}
         # small batches never pay for a pool
         assert ex._parallel is None
 
 
 def test_auto_large_batches_route_parallel_when_multicore():
-    with AutoExecutor(workers=2, min_units=4) as ex:
+    # Bare ints carry no dense work, so the byte thresholds are zeroed
+    # to expose the count-based leg of the routing on its own.
+    with AutoExecutor(workers=2, min_units=4, min_work_bytes=0) as ex:
         result = ex.map(square, list(range(8)))
         assert result == [square(x) for x in range(8)]
         assert ex.last_mode == "parallel"
@@ -87,7 +89,7 @@ def test_auto_single_core_always_serial():
     ex = AutoExecutor(workers=1, min_units=1)
     assert ex.shares_memory  # parallel routing impossible: in-process
     assert ex.map(square, list(range(10))) == [square(x) for x in range(10)]
-    assert ex.mode_counts == {"serial": 1, "parallel": 0}
+    assert ex.mode_counts == {"serial": 1, "parallel": 0, "fallback": 0}
     ex.close()
 
 
@@ -108,3 +110,110 @@ def test_auto_rejects_bad_worker_count():
     for workers in (0, -3):
         with pytest.raises(ValueError):
             AutoExecutor(workers=workers)
+
+
+def test_auto_rejects_negative_byte_thresholds():
+    with pytest.raises(ValueError):
+        AutoExecutor(ipc_budget=-1)
+    with pytest.raises(ValueError):
+        AutoExecutor(min_work_bytes=-1)
+
+
+# ------------------------------------------------- cost-model routing
+class FakePayload:
+    """Synthetic work item with an explicit (ipc, dense) footprint."""
+
+    def __init__(self, ipc, dense):
+        self._ipc = ipc
+        self._dense = dense
+
+    def _cost_footprint(self, walk):
+        return self._ipc, self._dense
+
+
+def identity(x):
+    return x
+
+
+# The pinned decision table for AutoExecutor(workers=2, min_units=4,
+# ipc_budget=1000, min_work_bytes=100) over 4 synthetic items:
+# (per-item ipc, per-item dense) -> expected route.
+ROUTING_TABLE = [
+    # cheap to ship, plenty of work: the pool pays off
+    ((10, 1000), "parallel"),
+    # shipping alone blows the budget: pickling eats the speedup
+    ((500, 100000), "serial"),
+    # nothing to compute: coordination cannot amortize
+    ((10, 10), "serial"),
+    # boundary: ipc exactly at budget still ships, dense exactly at
+    # the work floor still runs
+    ((250, 25), "parallel"),
+]
+
+
+@pytest.mark.parametrize("footprint,expected", ROUTING_TABLE)
+def test_auto_routing_decision_table(footprint, expected):
+    items = [FakePayload(*footprint) for _ in range(4)]
+    ex = AutoExecutor(workers=2, min_units=4, ipc_budget=1000, min_work_bytes=100)
+    try:
+        # the probe mirrors map's routing exactly
+        assert ex.will_run_in_process_payloads(items) == (expected == "serial")
+        ex.map(identity, items)
+        assert ex.last_mode == expected
+        assert ex.last_estimate == (footprint[0] * 4, footprint[1] * 4)
+    finally:
+        ex.close()
+
+
+def test_auto_count_probe_is_conservative():
+    # The count-only probe may answer "may go parallel" (False) for a
+    # batch the byte thresholds route serial — safe direction — but must
+    # never answer "in-process" for a batch that then goes parallel.
+    items = [FakePayload(10, 10) for _ in range(4)]  # dense below floor
+    with AutoExecutor(workers=2, min_units=4, min_work_bytes=100) as ex:
+        assert not ex.will_run_in_process(len(items))
+        assert ex.will_run_in_process_payloads(items)
+        ex.map(identity, items)
+        assert ex.last_mode == "serial"
+
+
+# ------------------------------------------------- crash resilience
+def _boom(x):
+    import os
+
+    # Suicide only inside pool workers; the in-process fallback rerun
+    # (same pid as the coordinator) computes normally.
+    if os.getpid() != _boom.main_pid:
+        os._exit(1)
+    return x * x
+
+
+_boom.main_pid = None
+
+
+def test_parallel_broken_pool_degrades_to_serial_and_recovers():
+    import os
+
+    _boom.main_pid = os.getpid()
+    with ParallelExecutor(workers=2) as ex:
+        results = ex.map(_boom, [1, 2, 3, 4])
+        assert results == [1, 4, 9, 16]  # in-process rerun, bit-identical
+        assert ex.mode_counts["fallback"] == 1
+        assert ex.last_mode == "fallback"
+        assert ex._pool is None  # broken pool discarded
+        # the next round builds a fresh pool and runs normally
+        assert ex.map(square, [5, 6]) == [25, 36]
+        assert ex.mode_counts["parallel"] == 1
+        assert ex.last_mode == "parallel"
+
+
+def test_auto_records_fallback_rounds():
+    import os
+
+    _boom.main_pid = os.getpid()
+    with AutoExecutor(workers=2, min_units=2, min_work_bytes=0) as ex:
+        assert ex.map(_boom, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        assert ex.mode_counts == {"serial": 0, "parallel": 0, "fallback": 1}
+        assert ex.last_mode == "fallback"
+        assert ex.map(square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        assert ex.mode_counts == {"serial": 0, "parallel": 1, "fallback": 1}

@@ -133,9 +133,10 @@ def test_auto_executor_rounds_identical_to_serial(
     tiny_fmnist, mlp_builder, fast_train_config
 ):
     """AutoExecutor-driven rounds — both routings — match the serial
-    reference bit for bit.  min_units=1 forces the parallel route even
-    for this small plan (and exercises the run_round capture_state
-    probe); the plain "auto" config on this plan routes serial."""
+    reference bit for bit.  min_units=1 / min_work_bytes=0 force the
+    parallel route even for this small plan (and exercise the
+    execute_round capture_state probe); the plain "auto" config on this
+    plan routes serial."""
     from repro.fl.dag_learning import TangleLearning
     from repro.substrate import AutoExecutor
 
@@ -147,7 +148,7 @@ def test_auto_executor_rounds_identical_to_serial(
         DagConfig(alpha=10.0, depth_range=(2, 5)),
         clients_per_round=4,
         seed=0,
-        executor=AutoExecutor(workers=2, min_units=1),
+        executor=AutoExecutor(workers=2, min_units=1, min_work_bytes=0),
     )
     auto_serial = make_sim(
         tiny_fmnist, mlp_builder, fast_train_config, parallelism="auto"
@@ -165,3 +166,44 @@ def test_auto_executor_rounds_identical_to_serial(
     assert_records_identical(serial.history, auto_serial.history)
     assert_tangles_identical(serial.tangle, forced_parallel.tangle)
     assert_tangles_identical(serial.tangle, auto_serial.tangle)
+
+
+def test_worker_crash_mid_round_degrades_to_serial_bit_identical(
+    tiny_fmnist, mlp_builder, fast_train_config
+):
+    """Killing a pool worker mid-run must not change a single bit.
+
+    The doomed task is queued ahead of round 1's units, so the pool is
+    (or goes) broken while the round executes; the executor re-runs the
+    round serially in-process, records the degradation, and rebuilds a
+    fresh pool for round 2.
+    """
+    import contextlib
+    import os
+
+    from repro.substrate import ParallelExecutor
+
+    serial = make_sim(
+        tiny_fmnist, mlp_builder, fast_train_config, parallelism=1
+    )
+    crashed = make_sim(
+        tiny_fmnist, mlp_builder, fast_train_config, parallelism=2
+    )
+    assert isinstance(crashed.executor, ParallelExecutor)
+    try:
+        serial.run(3)
+        crashed.run_round()  # round 0: healthy parallel round
+        doomed = crashed.executor._ensure_pool().submit(os._exit, 1)
+        with contextlib.suppress(Exception):
+            doomed.result(timeout=60)  # settle: the pool is broken now
+        crashed.run(2)  # round 1 falls back; round 2 gets a fresh pool
+    finally:
+        crashed.close()
+        serial.close()
+    assert crashed.executor.mode_counts["fallback"] >= 1
+    assert_records_identical(serial.history, crashed.history)
+    assert_tangles_identical(serial.tangle, crashed.tangle)
+    for client_id in serial.clients:
+        s, p = serial.clients[client_id], crashed.clients[client_id]
+        assert s.rng.bit_generator.state == p.rng.bit_generator.state
+        assert s.tx_accuracy_cache() == p.tx_accuracy_cache()
