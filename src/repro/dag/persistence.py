@@ -23,6 +23,7 @@ message instead of deep inside a later merge or walk.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -107,9 +108,31 @@ def load_tangle(path: str | Path) -> Tangle:
     """Load a tangle previously written by :func:`save_tangle`.
 
     Raises :class:`CorruptTangleError` when the file fails validation
-    (see the module docstring for what is checked).
+    (see the module docstring for what is checked) — including when the
+    file itself is torn: an npz cut mid-array surfaces the raw zip or
+    numpy error only when the damaged member is decompressed, so the
+    whole load is normalized to one error type naming the file.  A
+    missing file stays a plain ``FileNotFoundError``.
     """
     path = Path(path)
+    try:
+        return _load_validated(path)
+    except CorruptTangleError:
+        raise
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as exc:
+        # Everything a torn file produces across numpy/zipfile versions:
+        # BadZipFile (mangled directory), EOFError/OSError (member cut
+        # mid-stream), ValueError ("Failed to interpret..." / a clipped
+        # header), KeyError (meta fields lost with the tail).
+        raise CorruptTangleError(
+            f"{path} is corrupt or truncated "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def _load_validated(path: Path) -> Tangle:
     with np.load(path, allow_pickle=False) as data:
         if _META_KEY not in data:
             raise CorruptTangleError(

@@ -62,9 +62,23 @@ __all__ = [
     "batched_walk_starts",
     "padded_normalize",
     "lockstep_walks",
+    "WalkDeadlineExceeded",
 ]
 
 ScoreFn = Callable[[np.ndarray], np.ndarray]
+
+
+class WalkDeadlineExceeded(RuntimeError):
+    """A lockstep walk ran out of its deadline budget mid-flight.
+
+    Raised by :func:`lockstep_walks` (and :func:`batched_walk_starts`)
+    when the ``deadline`` object passed in reports ``expired`` at a
+    superstep boundary.  The walk's partial state is discarded — callers
+    that must answer anyway (the service's degradation ladder) catch
+    this and fall back to a cheaper selection mode.  The check never
+    consumes the random generator, so a walk given a deadline that does
+    not fire draws exactly the stream it would have drawn without one.
+    """
 
 
 def _pad_csr(
@@ -366,6 +380,7 @@ def batched_walk_starts(
     rng: np.random.Generator,
     *,
     depth_range: tuple[int, int] = (15, 25),
+    deadline=None,
 ) -> np.ndarray:
     """``count`` walk starting nodes, the Popov descent vectorized.
 
@@ -374,10 +389,16 @@ def batched_walk_starts(
     uniform depth in ``depth_range``, then uniform parent choices,
     stopping early at genesis — but drawn in blocks (all tips, all
     depths, then one vectorized parent choice per descent level).
+
+    ``deadline`` (any object with an ``expired`` attribute) is checked
+    once on entry — the descent itself is a handful of vector ops — and
+    raises :class:`WalkDeadlineExceeded` when already blown.
     """
     low, high = depth_range
     if low < 0 or high < low:
         raise ValueError(f"invalid depth range {depth_range}")
+    if deadline is not None and deadline.expired:
+        raise WalkDeadlineExceeded("deadline expired before walk starts")
     if count <= 0:
         return np.empty(0, dtype=np.int64)
     tips = snapshot.tip_nodes
@@ -500,6 +521,7 @@ def lockstep_walks(
     evaluation_counter: Callable[[int], None] | None = None,
     score_memo: np.ndarray | None = None,
     trace: list | None = None,
+    deadline=None,
 ) -> np.ndarray:
     """Walk every particle from its start to a tip, one superstep at a time.
 
@@ -537,6 +559,16 @@ def lockstep_walks(
     live particle indices, their nodes and candidate counts, each
     particle's candidate list, and the chosen next nodes.
 
+    ``deadline`` (any object exposing an ``expired`` attribute, e.g.
+    :class:`repro.service.resilience.Deadline`) is checked at every
+    superstep boundary — between batches of score evaluations, never
+    inside one — and raises :class:`WalkDeadlineExceeded` when blown.
+    Scores already written into a caller-owned ``score_memo`` survive
+    the abort, so a retry (or a cheaper fallback walking the same
+    snapshot) keeps the evaluations the doomed walk paid for.  The
+    check draws nothing: a walk whose deadline never fires consumes the
+    generator exactly as an undeadlined walk would.
+
     Returns the final node of every particle (all tips of the snapshot).
     """
     if alpha < 0:
@@ -567,6 +599,10 @@ def lockstep_walks(
     live = np.flatnonzero(degrees[current] > 0)
     with np.errstate(divide="ignore", invalid="ignore"):
         while live.size:
+            if deadline is not None and deadline.expired:
+                raise WalkDeadlineExceeded(
+                    f"deadline expired with {live.size} particle(s) in flight"
+                )
             if live.size == 1 and trace is None:
                 # Tail finisher: one straggler left — the padded
                 # frontier machinery costs more than it amortizes, so
@@ -575,6 +611,10 @@ def lockstep_walks(
                 particle = int(live[0])
                 node = int(current[particle])
                 while degrees[node] > 0:
+                    if deadline is not None and deadline.expired:
+                        raise WalkDeadlineExceeded(
+                            "deadline expired in the tail finisher"
+                        )
                     k = int(degrees[node])
                     if evaluation_counter is not None:
                         evaluation_counter(k)

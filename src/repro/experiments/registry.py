@@ -16,6 +16,7 @@ from repro.experiments import (
     fig10_11,
     fig12_13_14,
     fig15,
+    service_demo,
     table2,
 )
 
@@ -41,6 +42,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "async-convergence": extensions.run_async_convergence,
     "ablation-aggregation": extensions.run_aggregation_robustness,
     "comparison-gossip": comparison_gossip.run,
+    "service-demo": service_demo.run,
 }
 
 

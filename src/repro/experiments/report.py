@@ -166,6 +166,24 @@ def _summarize_gossip(result: dict) -> list[str]:
     ]
 
 
+def _summarize_service_demo(result: dict) -> list[str]:
+    lines = [
+        "| phase | rps | ok | degraded | quarantined | restarts |",
+        "|---|---|---|---|---|---|",
+    ]
+    for phase in ("calm", "chaos"):
+        data = result[phase]
+        lines.append(
+            f"| {phase} | {data['requests_per_s']:.1f} "
+            f"| {data['outcomes'].get('ok', 0)} "
+            f"| {data['ladder']['degraded']} "
+            f"| {data.get('quarantined', 0)} "
+            f"| {data['coalescer']['restarts']} |"
+        )
+    lines.append(f"\nfinal tangle size: {result['tangle_size']}")
+    return lines
+
+
 SUMMARIZERS: dict[str, Callable[[dict], list[str]]] = {
     "table2": _summarize_table2,
     "fig5": _summarize_fig5,
@@ -186,6 +204,7 @@ SUMMARIZERS: dict[str, Callable[[dict], list[str]]] = {
     "attack-random-weights": _summarize_variants,
     "async-convergence": _summarize_async,
     "comparison-gossip": _summarize_gossip,
+    "service-demo": _summarize_service_demo,
 }
 
 

@@ -1,0 +1,116 @@
+"""Chaos adapter: the PR 7 :class:`~repro.sim.faults.FaultModel` wired
+into the service loop.
+
+The simulator injects faults into a simulated network; the service
+injects the *same declarative model* into a live request path, so one
+scenario description exercises both planes:
+
+- ``drop_rate`` — the request vanishes in flight: the gateway raises
+  :class:`TransportDropped` before any handling, which the bundled
+  client treats as a retryable transport error (exactly what a closed
+  TCP connection looks like to a real caller);
+- ``jitter`` — an extra exponential delay is slept before handling,
+  pushing latency tails into the deadline machinery;
+- ``corruption_rate`` / ``corruption_mode`` — publish payloads are
+  corrupted with the shared :func:`repro.sim.faults.apply_corruption`
+  kernel before they reach the gate, so the quarantine is exercised by
+  the very same nan/inf/noise modes the simulator uses;
+- ``crash_rate`` — the coalescer worker is crashed mid-batch
+  (:class:`InjectedCoalescerCrash`): in-flight requests are resolved as
+  explicit retryable sheds and the supervisor respawns the worker.
+
+All draws come from one dedicated generator under a lock, mirroring the
+engine's dedicated ``"faults"`` stream: the fault *sequence* is a pure
+function of the seed and the order in which requests arrive (which,
+under real concurrency, is the scheduler's to decide — so chaos runs
+are reproducible in distribution, not bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.sim.faults import FaultModel, apply_corruption
+
+__all__ = ["TransportDropped", "InjectedCoalescerCrash", "ServiceChaos"]
+
+
+class TransportDropped(ConnectionError):
+    """The (simulated) network ate this request before the gateway saw it."""
+
+
+class InjectedCoalescerCrash(RuntimeError):
+    """Chaos killed the coalescer worker mid-batch."""
+
+
+class ServiceChaos:
+    """Apply a :class:`FaultModel`'s rates at the gateway boundary.
+
+    ``sleep`` is injectable so tests can count jitter without waiting.
+    ``stats`` tallies every injection for the health endpoint and the
+    chaos benchmark's assertions that the scenario actually fired.
+    """
+
+    def __init__(
+        self,
+        faults: FaultModel,
+        *,
+        seed: int = 0,
+        sleep=time.sleep,
+    ):
+        self.faults = faults
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self._sleep = sleep
+        self.stats = {
+            "dropped": 0,
+            "jittered": 0,
+            "corrupted": 0,
+            "crashes_injected": 0,
+        }
+
+    def before_request(self, kind: str) -> None:
+        """Entry-point injection: may raise :class:`TransportDropped`,
+        may sleep an exponential jitter delay.  ``kind`` names the
+        endpoint (for per-endpoint stats later; unused in the draw)."""
+        delay = 0.0
+        with self._lock:
+            if self.faults.drop_rate > 0 and (
+                self._rng.random() < self.faults.drop_rate
+            ):
+                self.stats["dropped"] += 1
+                raise TransportDropped(f"chaos dropped a {kind} request")
+            if self.faults.jitter > 0:
+                delay = float(self._rng.exponential(self.faults.jitter))
+                self.stats["jittered"] += 1
+        if delay > 0:  # sleep outside the lock: jitter must not serialize
+            self._sleep(delay)
+
+    def corrupt_payload(self, flat: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Maybe corrupt a publish payload; returns ``(payload, hit)``."""
+        with self._lock:
+            if self.faults.corruption_rate > 0 and (
+                self._rng.random() < self.faults.corruption_rate
+            ):
+                self.stats["corrupted"] += 1
+                return (
+                    apply_corruption(
+                        flat, self.faults.corruption_mode, self._rng
+                    ),
+                    True,
+                )
+        return flat, False
+
+    def maybe_crash(self) -> None:
+        """Coalescer-batch injection: may raise
+        :class:`InjectedCoalescerCrash` (the worker's supervisor turns
+        that into shed-and-restart)."""
+        with self._lock:
+            if self.faults.crash_rate > 0 and (
+                self._rng.random() < self.faults.crash_rate
+            ):
+                self.stats["crashes_injected"] += 1
+                raise InjectedCoalescerCrash("chaos killed the coalescer worker")

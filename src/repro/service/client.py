@@ -1,0 +1,97 @@
+"""The bundled gateway client: retries as the caller's half of shedding.
+
+A resilient service is only half the story — a shed response or a
+dropped connection still needs a caller that backs off and retries
+instead of hammering or giving up.  :class:`GatewayClient` wraps any
+gateway-shaped object (the in-process :class:`TangleGateway` or an HTTP
+adapter exposing the same methods) and applies the
+:class:`~repro.service.resilience.RetryPolicy` contract:
+
+- ``"shed"`` responses are retried after capped exponential backoff
+  with jitter, honoring the server's ``retry_after`` hint when larger;
+- :class:`~repro.service.chaos.TransportDropped` (chaos ate the request
+  in flight) is treated as a retryable shed;
+- ``"ok"`` and ``"rejected"`` return immediately — an invalid payload
+  does not become valid by resending it;
+- when attempts are exhausted the *last response* is returned, never an
+  exception: the caller always sees the closed outcome taxonomy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.service.chaos import TransportDropped
+from repro.service.gateway import ServiceResponse
+from repro.service.resilience import RetryPolicy
+
+__all__ = ["GatewayClient"]
+
+
+class GatewayClient:
+    """Retry-wrapped facade over a gateway (in-process or HTTP adapter).
+
+    ``sleep`` is injectable so tests measure backoff without waiting.
+    """
+
+    def __init__(
+        self,
+        gateway,
+        *,
+        policy: RetryPolicy | None = None,
+        seed: int = 0,
+        sleep=time.sleep,
+    ):
+        self.gateway = gateway
+        self.policy = policy or RetryPolicy()
+        self._rng = np.random.default_rng(seed)
+        self._sleep = sleep
+        self.stats = {
+            "attempts": 0,
+            "retries": 0,
+            "transport_drops": 0,
+            "gave_up": 0,
+        }
+
+    def _call(self, fn, /, *args, **kwargs) -> ServiceResponse:
+        last: ServiceResponse | None = None
+        for attempt in range(self.policy.max_attempts):
+            self.stats["attempts"] += 1
+            try:
+                response = fn(*args, **kwargs)
+            except TransportDropped:
+                self.stats["transport_drops"] += 1
+                last = ServiceResponse(
+                    status="shed", reason="transport_dropped"
+                )
+            else:
+                if response.status != "shed":
+                    return response
+                last = response
+            if attempt + 1 < self.policy.max_attempts:
+                self.stats["retries"] += 1
+                self._sleep(
+                    self.policy.delay(
+                        attempt, self._rng, retry_after=last.retry_after
+                    )
+                )
+        self.stats["gave_up"] += 1
+        return last
+
+    # Facade methods mirror the gateway surface one to one.
+    def tips(self, count: int = 2, **kwargs) -> ServiceResponse:
+        return self._call(self.gateway.tips, count, **kwargs)
+
+    def publish(self, flat, parents, **kwargs) -> ServiceResponse:
+        return self._call(self.gateway.publish, flat, parents, **kwargs)
+
+    def current_model(self) -> ServiceResponse:
+        return self._call(self.gateway.current_model)
+
+    def health(self) -> ServiceResponse:
+        return self._call(self.gateway.health)
+
+    def ready(self) -> ServiceResponse:
+        return self._call(self.gateway.ready)

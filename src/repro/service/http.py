@@ -1,0 +1,174 @@
+"""Stdlib HTTP front for the gateway (no framework dependencies).
+
+The in-process API is the contract; this module is a thin JSON
+transport over it, so everything the resilience layer guarantees maps
+directly onto HTTP semantics:
+
+========================  =====================================
+gateway outcome           HTTP mapping
+========================  =====================================
+``"ok"``                  200 (``degraded`` flagged in the body)
+``"shed"``                429 + ``Retry-After`` header
+``"rejected"``            400 (quarantined / invalid payload)
+``ready: False``          503 on ``GET /ready``
+chaos ``TransportDropped``  connection closed without a response
+========================  =====================================
+
+Routes: ``POST /publish``, ``GET /tips``, ``GET /current-model``,
+``GET /health``, ``GET /ready``.  Built on ``ThreadingHTTPServer`` so
+concurrent requests actually coalesce; :func:`serve_background` binds
+port 0 for collision-free tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from repro.service.chaos import TransportDropped
+from repro.service.gateway import ServiceResponse, TangleGateway
+
+__all__ = ["GatewayHTTPServer", "serve_background"]
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # The test server must not spam stderr.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def gateway(self) -> TangleGateway:
+        return self.server.gateway
+
+    def _send(self, response: ServiceResponse, status: int | None = None):
+        payload = {
+            "status": response.status,
+            "degraded": response.degraded,
+            "reason": response.reason,
+            **_jsonable(response.body),
+        }
+        body = json.dumps(payload).encode()
+        self.send_response(status or response.http_status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if response.retry_after is not None:
+            self.send_header("Retry-After", f"{response.retry_after:.3f}")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _drop(self):
+        # Chaos ate the request: hang up without an HTTP response,
+        # which is exactly what a dropped packet looks like to the
+        # caller — a transport error, not a 5xx.
+        self.close_connection = True
+
+    def do_GET(self):
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        try:
+            if url.path == "/tips":
+                budget = query.get("budget")
+                response = self.gateway.tips(
+                    int(query.get("count", ["2"])[0]),
+                    score_key=query.get("score_key", [None])[0],
+                    budget=float(budget[0]) if budget else None,
+                )
+            elif url.path == "/current-model":
+                response = self.gateway.current_model()
+            elif url.path == "/health":
+                response = self.gateway.health()
+            elif url.path == "/ready":
+                response = self.gateway.ready()
+                self._send(
+                    response, status=200 if response.body["ready"] else 503
+                )
+                return
+            else:
+                self._send(
+                    ServiceResponse(status="rejected", reason="unknown route"),
+                    status=404,
+                )
+                return
+        except TransportDropped:
+            self._drop()
+            return
+        self._send(response)
+
+    def do_POST(self):
+        url = urlparse(self.path)
+        if url.path != "/publish":
+            self._send(
+                ServiceResponse(status="rejected", reason="unknown route"),
+                status=404,
+            )
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        try:
+            request = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send(
+                ServiceResponse(status="rejected", reason=f"bad json: {exc}")
+            )
+            return
+        if "weights" not in request or "parents" not in request:
+            self._send(
+                ServiceResponse(
+                    status="rejected", reason="need 'weights' and 'parents'"
+                )
+            )
+            return
+        try:
+            response = self.gateway.publish(
+                np.asarray(request["weights"], dtype=np.float64),
+                list(request["parents"]),
+                issuer=int(request.get("issuer", 0)),
+                round_index=int(request.get("round_index", 0)),
+                tags=request.get("tags"),
+            )
+        except TransportDropped:
+            self._drop()
+            return
+        self._send(response)
+
+
+class GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, gateway: TangleGateway, host="127.0.0.1", port=0):
+        super().__init__((host, port), _Handler)
+        self.gateway = gateway
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve_background(
+    gateway: TangleGateway, host="127.0.0.1", port=0
+) -> tuple[GatewayHTTPServer, threading.Thread]:
+    """Start a server thread; caller owns ``server.shutdown()``."""
+    server = GatewayHTTPServer(gateway, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="gateway-http", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -29,7 +29,7 @@ from repro.sim.config import (
     random_churn,
 )
 from repro.sim.engine import EventDrivenTangleLearning, SimEvent
-from repro.sim.faults import FaultModel, Partition
+from repro.sim.faults import FaultModel, Partition, apply_corruption
 
 __all__ = [
     "ChurnEvent",
@@ -40,5 +40,6 @@ __all__ = [
     "SimConfig",
     "SimEvent",
     "StalenessPolicy",
+    "apply_corruption",
     "random_churn",
 ]

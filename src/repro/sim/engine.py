@@ -70,6 +70,7 @@ from repro.fl.records import RoundRecord
 from repro.nn.model import Classifier
 from repro.nn.training_plane import train_grouped
 from repro.sim.config import SimConfig
+from repro.sim.faults import apply_corruption
 from repro.substrate import (
     ClientWorkUnit,
     Executor,
@@ -477,16 +478,9 @@ class EventDrivenTangleLearning:
 
     def _corrupt(self, flat: np.ndarray) -> np.ndarray:
         """The configured in-flight payload corruption (fault stream)."""
-        rng = self._fault_rng
-        if self._faults.corruption_mode == "noise":
-            # Large finite garbage: admitted by the quarantine, left to
-            # the walk's accuracy bias and the robust aggregators.
-            return rng.normal(0.0, 100.0, flat.shape[0])
-        flat = np.array(flat, dtype=np.float64, copy=True)
-        count = max(1, flat.shape[0] // 10)
-        idx = rng.integers(0, flat.shape[0], size=count)
-        flat[idx] = np.nan if self._faults.corruption_mode == "nan" else np.inf
-        return flat
+        return apply_corruption(
+            flat, self._faults.corruption_mode, self._fault_rng
+        )
 
     def _deliver(self, tx_id: str, issuer: int, base_visible: float) -> None:
         """Per-link delivery fan-out (link faults active): one arrival

@@ -44,11 +44,46 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.utils.validation import check_probability
 
-__all__ = ["FaultModel", "Partition"]
+__all__ = ["FaultModel", "Partition", "apply_corruption"]
 
 _CORRUPTION_MODES = ("nan", "inf", "noise")
+
+
+def apply_corruption(
+    flat: np.ndarray, mode: str, rng: np.random.Generator
+) -> np.ndarray:
+    """One in-flight payload corruption of ``flat``, drawn from ``rng``.
+
+    The shared kernel behind every corruption injection site — the event
+    engine's publish path and the service gateway's chaos adapter — so
+    the modes mean the same thing everywhere:
+
+    - ``"noise"`` replaces the whole vector with large finite garbage
+      (one ``rng.normal`` block): admitted by the publish quarantine and
+      left to the walk's accuracy bias and the robust aggregators;
+    - ``"nan"`` / ``"inf"`` poison a random tenth of the coordinates
+      with non-finite values (one ``rng.integers`` block): caught at the
+      publish gate, never reaching the weight arena.
+
+    Always returns a fresh array; the input is never mutated.  Draw
+    order is part of the fault plane's determinism contract — exactly
+    one block per call, so schedules replay bit-for-bit per seed.
+    """
+    if mode not in _CORRUPTION_MODES:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; expected one of {_CORRUPTION_MODES}"
+        )
+    if mode == "noise":
+        return rng.normal(0.0, 100.0, flat.shape[0])
+    flat = np.array(flat, dtype=np.float64, copy=True)
+    count = max(1, flat.shape[0] // 10)
+    idx = rng.integers(0, flat.shape[0], size=count)
+    flat[idx] = np.nan if mode == "nan" else np.inf
+    return flat
 
 
 @dataclass(frozen=True)

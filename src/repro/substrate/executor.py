@@ -12,6 +12,7 @@ per-client state, and every random draw comes from a stream keyed by
 
 from __future__ import annotations
 
+import logging
 import math
 import multiprocessing
 import os
@@ -20,6 +21,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Protocol, Sequence, TypeVar
 
 from repro.substrate.cost import estimate_payload
+
+_LOG = logging.getLogger(__name__)
 
 __all__ = [
     "Executor",
@@ -127,7 +130,7 @@ class ParallelExecutor:
         self.parallelism = workers or (os.cpu_count() or 2)
         self.chunksize = chunksize
         self._pool: ProcessPoolExecutor | None = None
-        self.mode_counts = {"parallel": 0, "fallback": 0}
+        self.mode_counts = {"parallel": 0, "fallback": 0, "shutdown_error": 0}
         self.last_mode: str | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -163,12 +166,24 @@ class ParallelExecutor:
         self.mode_counts["parallel"] += 1
         return results
 
+    def _note_swallowed_shutdown(self, where: str, exc: BaseException) -> None:
+        """A pool shutdown failed but must not mask the caller's work:
+        count it (``mode_counts["shutdown_error"]``) and log the type,
+        so the event is observable instead of silently vanishing."""
+        self.mode_counts["shutdown_error"] += 1
+        _LOG.warning(
+            "pool shutdown in %s raised %s: %s", where, type(exc).__name__, exc
+        )
+
     def _discard_broken_pool(self) -> None:
         if self._pool is not None:
             try:
                 self._pool.shutdown(wait=False)
-            except Exception:
-                pass
+            except (OSError, RuntimeError) as exc:
+                # The concrete ways tearing down an already-broken pool
+                # fails (dead pipes, double-shutdown races).  Anything
+                # else is a programming error and propagates.
+                self._note_swallowed_shutdown("_discard_broken_pool", exc)
             self._pool = None
 
     def close(self) -> None:
@@ -183,10 +198,15 @@ class ParallelExecutor:
         self.close()
 
     def __del__(self) -> None:
+        if getattr(self, "_pool", None) is None:
+            return  # nothing held, or __init__ never finished
         try:
             self.close()
-        except Exception:
-            pass
+        except (OSError, RuntimeError) as exc:
+            # Close at garbage-collection time can race interpreter or
+            # worker teardown; those concrete failures are counted and
+            # logged, not silenced wholesale.
+            self._note_swallowed_shutdown("__del__", exc)
 
 
 class AutoExecutor:

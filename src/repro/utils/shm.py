@@ -38,6 +38,8 @@ from __future__ import annotations
 import atexit
 import os
 import secrets
+import signal
+import threading
 from multiprocessing import resource_tracker, shared_memory
 
 __all__ = [
@@ -108,9 +110,62 @@ def _retrack(name: str) -> None:
         pass
 
 
+#: Handlers that were installed before ours, for chaining: signum -> handler.
+_previous_handlers: dict[int, object] = {}
+_reapers_installed = False
+
+
+def _reap_and_chain(signum, frame) -> None:
+    """Signal handler: unlink owned segments, then behave as if we were
+    never installed.
+
+    ``atexit`` only runs on orderly interpreter exit; a coordinator
+    killed by SIGTERM (CI timeouts, orchestrators) or interrupted at the
+    terminal would otherwise leak its ``/dev/shm`` segments until the
+    resource tracker notices.  Chaining preserves the pre-existing
+    semantics: a previously installed Python handler is invoked (for
+    SIGINT that is the default handler raising ``KeyboardInterrupt``),
+    and ``SIG_DFL`` is re-delivered so the process still dies with the
+    correct termination status.
+    """
+    release_all()
+    previous = _previous_handlers.get(signum, signal.SIG_DFL)
+    if callable(previous):
+        previous(signum, frame)
+    elif previous != signal.SIG_IGN:
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+
+def _install_signal_reapers() -> None:
+    """Install the SIGTERM/SIGINT reapers once, lazily, from the first
+    :func:`create_segment` call.
+
+    Lazy so that merely importing this module never touches signal
+    state, and only from the main thread (``signal.signal`` is illegal
+    elsewhere) — a coordinator that first allocates from a worker thread
+    simply stays on the atexit + resource-tracker safety nets until the
+    main thread allocates.
+    """
+    global _reapers_installed
+    if _reapers_installed:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous = signal.getsignal(signum)
+            signal.signal(signum, _reap_and_chain)
+        except (ValueError, OSError):  # exotic embedding; keep safety nets
+            continue
+        _previous_handlers[signum] = previous
+    _reapers_installed = True
+
+
 def create_segment(nbytes: int) -> shared_memory.SharedMemory:
     """Allocate a new named segment of at least ``nbytes`` bytes."""
     global _counter
+    _install_signal_reapers()
     _counter += 1
     name = f"{_PREFIX}-{os.getpid()}-{_counter}-{secrets.token_hex(4)}"
     shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))

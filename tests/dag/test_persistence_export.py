@@ -165,3 +165,41 @@ def test_corrupt_tangle_error_is_a_value_error(tangle, tmp_path):
     np.savez(path, x=np.zeros(3))
     with pytest.raises(CorruptTangleError):
         load_tangle(path)
+
+
+def test_load_names_file_when_cut_mid_array(tangle, tmp_path):
+    """A file torn at any byte offset is one CorruptTangleError naming
+    the file — never a raw zipfile/EOF/numpy error from deep inside."""
+    import re
+
+    from repro.dag import CorruptTangleError
+
+    path = save_tangle(tangle, tmp_path / "t.npz")
+    raw = path.read_bytes()
+    # Cut points spanning the zip structure: inside the first member's
+    # compressed stream, mid-archive, and through the central directory.
+    for fraction in (0.2, 0.5, 0.75, 0.97):
+        torn = tmp_path / f"torn-{int(fraction * 100)}.npz"
+        torn.write_bytes(raw[: int(len(raw) * fraction)])
+        with pytest.raises(CorruptTangleError, match=re.escape(torn.name)):
+            load_tangle(torn)
+
+
+def test_load_torn_file_chains_the_underlying_error(tangle, tmp_path):
+    from repro.dag import CorruptTangleError
+
+    path = save_tangle(tangle, tmp_path / "t.npz")
+    raw = path.read_bytes()
+    torn = tmp_path / "torn.npz"
+    torn.write_bytes(raw[: len(raw) // 2])
+    try:
+        load_tangle(torn)
+    except CorruptTangleError as exc:
+        assert exc.__cause__ is not None  # the raw error stays debuggable
+    else:  # pragma: no cover
+        pytest.fail("torn file loaded")
+
+
+def test_load_missing_file_stays_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_tangle(tmp_path / "never-written.npz")

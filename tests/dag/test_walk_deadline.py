@@ -1,0 +1,135 @@
+"""Deadline propagation into the lockstep walk engine.
+
+The service layer hands walks a budget object; the engine checks it at
+superstep boundaries.  These tests pin the three contract points: an
+expired budget aborts with :class:`WalkDeadlineExceeded` (from the
+starts block, the superstep loop, and the tail finisher), a generous
+budget changes *nothing* (bit-identical finals and rng stream), and the
+check itself never consumes randomness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.dag.walk_engine import (
+    TangleSnapshot,
+    WalkDeadlineExceeded,
+    batched_walk_starts,
+    lockstep_walks,
+)
+
+
+def _weights():
+    return [np.zeros(1)]
+
+
+def _grow(n=60, seed=4):
+    rng = np.random.default_rng(seed)
+    tangle = Tangle(_weights())
+    ids = [GENESIS_ID]
+    for i in range(n):
+        parents = tuple(
+            dict.fromkeys(ids[int(rng.integers(0, len(ids)))] for _ in range(2))
+        )
+        tangle.add(Transaction(f"t{i}", parents, _weights(), i % 10, i // 10))
+        ids.append(f"t{i}")
+    return tangle
+
+
+class _Budget:
+    """Duck-typed deadline: expires after ``checks`` polls."""
+
+    def __init__(self, checks):
+        self.checks = checks
+        self.polled = 0
+
+    @property
+    def expired(self):
+        self.polled += 1
+        return self.polled > self.checks
+
+
+class _Never:
+    expired = False
+
+
+def _score(nodes):
+    return np.linspace(0.0, 1.0, nodes.size)
+
+
+def test_expired_deadline_aborts_walk_starts():
+    snapshot = TangleSnapshot.build(_grow())
+    with pytest.raises(WalkDeadlineExceeded, match="before walk starts"):
+        batched_walk_starts(
+            snapshot, 5, np.random.default_rng(0), deadline=_Budget(0)
+        )
+
+
+def test_deadline_mid_flight_aborts_superstep_loop():
+    snapshot = TangleSnapshot.build(_grow())
+    rng = np.random.default_rng(3)
+    starts = batched_walk_starts(snapshot, 50, rng)
+    with pytest.raises(WalkDeadlineExceeded, match="in flight"):
+        lockstep_walks(
+            snapshot,
+            starts,
+            _score,
+            alpha=1.0,
+            rng=rng,
+            deadline=_Budget(1),  # survives one superstep, dies on the next
+        )
+
+
+def test_generous_deadline_is_bit_identical_to_none():
+    snapshot = TangleSnapshot.build(_grow())
+
+    def run(deadline):
+        rng = np.random.default_rng(11)
+        starts = batched_walk_starts(snapshot, 40, rng, deadline=deadline)
+        finals = lockstep_walks(
+            snapshot, starts, _score, alpha=2.0, rng=rng, deadline=deadline
+        )
+        return finals, rng.bit_generator.state
+
+    bare_finals, bare_state = run(None)
+    timed_finals, timed_state = run(_Never())
+    np.testing.assert_array_equal(bare_finals, timed_finals)
+    assert bare_state == timed_state  # the check draws nothing
+
+
+def test_memo_scores_survive_an_aborted_walk():
+    snapshot = TangleSnapshot.build(_grow())
+    memo = np.full(len(snapshot), np.nan)
+    rng = np.random.default_rng(7)
+    starts = batched_walk_starts(snapshot, 50, rng)
+    with pytest.raises(WalkDeadlineExceeded):
+        lockstep_walks(
+            snapshot,
+            starts,
+            _score,
+            alpha=1.0,
+            rng=rng,
+            score_memo=memo,
+            deadline=_Budget(1),
+        )
+    scored = ~np.isnan(memo)
+    assert scored.any()  # the abort kept the work already paid for
+    # ...and a rerun with the warm memo needs no new scoring calls for
+    # those nodes: feed a poisoned score_fn limited to unscored nodes.
+    calls = []
+
+    def strict_score(nodes):
+        calls.append(nodes)
+        assert not np.isin(nodes, np.flatnonzero(scored)).any()
+        return _score(nodes)
+
+    lockstep_walks(
+        snapshot,
+        starts,
+        strict_score,
+        alpha=1.0,
+        rng=np.random.default_rng(8),
+        score_memo=memo,
+    )

@@ -117,3 +117,16 @@ def test_dag_config_for_overrides_win():
 
 def test_paper_profile_poets_normalization_is_standard():
     assert SCALES["paper"].poets_normalization == "standard"
+
+
+def test_service_demo_registered_and_runs_clean():
+    from repro.experiments.registry import get_experiment
+    from repro.experiments.scale import SCALES
+
+    runner = get_experiment("service-demo")
+    result = runner(SCALES["smoke"], seed=0, cycles=1)
+    for phase in ("calm", "chaos"):
+        statuses = set(result[phase]["outcomes"]) - {"degraded"}
+        assert statuses <= {"ok", "shed", "rejected"}
+    assert result["calm"]["outcomes"].get("ok", 0) > 0
+    assert result["tangle_size"] > 1

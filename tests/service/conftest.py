@@ -1,0 +1,36 @@
+"""Shared fixtures for the service-layer suite: one small live tangle."""
+
+import numpy as np
+import pytest
+
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.dag.walk_engine import clear_snapshot_cache
+
+
+def _weights(rng):
+    return [rng.normal(size=(3, 2)), rng.normal(size=2)]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_snapshot_cache():
+    clear_snapshot_cache()
+    yield
+    clear_snapshot_cache()
+
+
+@pytest.fixture
+def tangle():
+    """A ~40-transaction tangle with a handful of live tips."""
+    rng = np.random.default_rng(5)
+    tangle = Tangle(_weights(rng))
+    ids = [GENESIS_ID]
+    for i in range(40):
+        parents = tuple(
+            dict.fromkeys(ids[int(rng.integers(0, len(ids)))] for _ in range(2))
+        )
+        tangle.add(
+            Transaction(f"t{i}", parents, _weights(rng), i % 8, i // 8)
+        )
+        ids.append(f"t{i}")
+    return tangle

@@ -1,0 +1,188 @@
+"""Chaos at the service boundary, and the chaos load test.
+
+The load test is the PR's acceptance criterion in miniature: under
+drops + corruption + injected coalescer crashes, every single response
+is a success, an explicit shed, or a labeled degraded result — the
+taxonomy stays closed, corrupt payloads are quarantined, and the
+coalescer demonstrably crashed and recovered during the run.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    GatewayClient,
+    GatewayConfig,
+    ServiceChaos,
+    TangleGateway,
+    TransportDropped,
+)
+from repro.service.chaos import InjectedCoalescerCrash
+from repro.sim.faults import FaultModel
+
+
+def test_drop_rate_one_drops_every_request():
+    chaos = ServiceChaos(FaultModel(drop_rate=1.0, always_on=True))
+    with pytest.raises(TransportDropped):
+        chaos.before_request("tips")
+    assert chaos.stats["dropped"] == 1
+
+
+def test_jitter_sleeps_via_injected_clock():
+    naps = []
+    chaos = ServiceChaos(
+        FaultModel(jitter=0.01, always_on=True), sleep=naps.append
+    )
+    chaos.before_request("tips")
+    assert len(naps) == 1 and naps[0] > 0
+    assert chaos.stats["jittered"] == 1
+
+
+def test_corruption_uses_the_shared_kernel():
+    chaos = ServiceChaos(
+        FaultModel(corruption_rate=1.0, corruption_mode="nan", always_on=True)
+    )
+    clean = np.zeros(50)
+    corrupted, hit = chaos.corrupt_payload(clean)
+    assert hit and np.isnan(corrupted).any()
+    assert not np.isnan(clean).any()  # caller's array untouched
+    assert chaos.stats["corrupted"] == 1
+
+
+def test_crash_rate_one_always_crashes():
+    chaos = ServiceChaos(FaultModel(crash_rate=1.0, always_on=True))
+    with pytest.raises(InjectedCoalescerCrash):
+        chaos.maybe_crash()
+    assert chaos.stats["crashes_injected"] == 1
+
+
+def test_zero_rates_inject_nothing():
+    chaos = ServiceChaos(FaultModel(always_on=True))
+    for _ in range(20):
+        chaos.before_request("tips")
+        chaos.maybe_crash()
+    payload, hit = chaos.corrupt_payload(np.ones(8))
+    assert not hit
+    assert all(v == 0 for v in chaos.stats.values())
+
+
+# ----------------------------------------------------------- client retries
+def test_client_retries_transport_drops_until_success(tangle):
+    # Deterministic drop sequence: first two attempts die in transit.
+    plan = iter([True, True, False])
+
+    class FlakyGateway:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def tips(self, count, **kwargs):
+            if next(plan, False):
+                raise TransportDropped("gone")
+            return self.inner.tips(count, **kwargs)
+
+    naps = []
+    with TangleGateway(tangle) as gateway:
+        client = GatewayClient(FlakyGateway(gateway), sleep=naps.append)
+        response = client.tips(2)
+    assert response.ok
+    assert client.stats["transport_drops"] == 2
+    assert client.stats["retries"] == 2
+    assert len(naps) == 2 and naps[1] > 0
+
+
+def test_client_exhausts_retries_into_last_shed_response(tangle):
+    class AlwaysShedding:
+        def tips(self, count, **kwargs):
+            from repro.service.gateway import ServiceResponse
+
+            return ServiceResponse(
+                status="shed", reason="queue_full", retry_after=0.001
+            )
+
+    client = GatewayClient(AlwaysShedding(), sleep=lambda d: None)
+    response = client.tips(2)
+    assert response.status == "shed" and response.reason == "queue_full"
+    assert client.stats["gave_up"] == 1
+    assert client.stats["attempts"] == client.policy.max_attempts
+
+
+def test_client_never_retries_rejected_payloads(tangle):
+    calls = []
+    with TangleGateway(tangle) as gateway:
+
+        def counted_publish(flat, parents, **kwargs):
+            calls.append(1)
+            return TangleGateway.publish(gateway, flat, parents, **kwargs)
+
+        gateway_like = type(
+            "G", (), {"publish": staticmethod(counted_publish)}
+        )()
+        client = GatewayClient(gateway_like, sleep=lambda d: None)
+        response = client.publish(
+            np.full(tangle.spec.total, np.nan), tangle.tips()[:1]
+        )
+    assert response.status == "rejected"
+    assert len(calls) == 1  # resending an invalid payload is pointless
+
+
+# ------------------------------------------------------------ chaos load
+def test_chaos_load_keeps_the_taxonomy_closed(tangle):
+    faults = FaultModel(
+        drop_rate=0.15,
+        jitter=0.001,
+        corruption_rate=0.25,
+        corruption_mode="inf",
+        crash_rate=0.3,
+        always_on=True,
+    )
+    chaos = ServiceChaos(faults, seed=3)
+    config = GatewayConfig(deadline_budget=2.0, seed=3)
+    statuses: dict[str, int] = {}
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    with TangleGateway(tangle, config=config, chaos=chaos) as gateway:
+
+        def caller(seed):
+            rng = np.random.default_rng(seed)
+            client = GatewayClient(gateway, seed=seed)
+            try:
+                for i in range(6):
+                    tips = client.tips(2)
+                    with lock:
+                        statuses[tips.status] = statuses.get(tips.status, 0) + 1
+                    if tips.ok:
+                        publish = client.publish(
+                            rng.normal(size=gateway.tangle.spec.total),
+                            tips.body["tips"],
+                            issuer=seed,
+                            round_index=i,
+                        )
+                        with lock:
+                            statuses[publish.status] = (
+                                statuses.get(publish.status, 0) + 1
+                            )
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=caller, args=(seed,)) for seed in range(12)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        health = gateway.health().body
+        restarts = gateway.coalescer.stats["restarts"]
+        quarantined = gateway.counts["quarantined"]
+
+    assert not errors, errors  # no caller ever saw an exception
+    assert set(statuses) <= {"ok", "shed", "rejected"}  # closed taxonomy
+    assert statuses.get("ok", 0) > 0  # the service kept serving
+    assert chaos.stats["crashes_injected"] > 0 and restarts > 0
+    assert chaos.stats["corrupted"] > 0 and quarantined > 0
+    assert chaos.stats["dropped"] > 0
+    assert health["counts"]["ok"] == statuses.get("ok", 0)

@@ -1,0 +1,130 @@
+"""The degradation ladder: accuracy -> weighted -> uniform, always labeled."""
+
+import numpy as np
+import pytest
+
+from repro.dag.walk_engine import TangleSnapshot
+from repro.service.degradation import LADDER_MODES, DegradationLadder
+from repro.service.resilience import CircuitBreaker, Deadline
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _score(nodes):
+    return np.linspace(0.0, 1.0, nodes.size)
+
+
+@pytest.fixture
+def snapshot(tangle):
+    return TangleSnapshot.build(tangle)
+
+
+def test_accuracy_mode_when_everything_is_healthy(snapshot):
+    ladder = DegradationLadder()
+    finals, mode, degraded, reason = ladder.select(
+        snapshot, 10, np.random.default_rng(0), score_fn=_score
+    )
+    assert mode == "accuracy" and not degraded and reason is None
+    assert finals.shape == (10,)
+    assert np.isin(finals, snapshot.tip_nodes).all()
+    assert ladder.stats["accuracy"] == 1 and ladder.stats["degraded"] == 0
+
+
+def test_no_score_fn_means_weighted_is_native_not_degraded(snapshot):
+    ladder = DegradationLadder()
+    finals, mode, degraded, reason = ladder.select(
+        snapshot, 6, np.random.default_rng(1)
+    )
+    assert mode == "weighted" and not degraded and reason is None
+    assert finals.shape == (6,)
+
+
+def test_score_failure_degrades_to_weighted_with_reason(snapshot):
+    ladder = DegradationLadder()
+
+    def broken(nodes):
+        raise RuntimeError("scoring plane crashed")
+
+    finals, mode, degraded, reason = ladder.select(
+        snapshot, 8, np.random.default_rng(2), score_fn=broken
+    )
+    assert mode == "weighted" and degraded and reason == "score_failure"
+    assert finals.shape == (8,)
+    assert ladder.stats["score_failures"] == 1
+    assert ladder.stats["degraded"] == 1
+
+
+def test_open_breaker_skips_accuracy_without_paying_for_it(snapshot):
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=99.0, clock=clock)
+    breaker.record_failure()
+    ladder = DegradationLadder(breaker=breaker)
+    calls = []
+
+    def counting(nodes):
+        calls.append(nodes)
+        return _score(nodes)
+
+    finals, mode, degraded, reason = ladder.select(
+        snapshot, 5, np.random.default_rng(3), score_fn=counting
+    )
+    assert mode == "weighted" and degraded and reason == "breaker_open"
+    assert calls == []  # the sick plane was never touched
+
+
+def test_repeated_score_failures_trip_the_breaker(snapshot):
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=99.0, clock=clock)
+    ladder = DegradationLadder(breaker=breaker)
+
+    def broken(nodes):
+        raise RuntimeError("still down")
+
+    for _ in range(2):
+        ladder.select(snapshot, 4, np.random.default_rng(4), score_fn=broken)
+    assert breaker.state == "open"
+    assert breaker.times_opened == 1
+    # Third request: breaker_open, not score_failure — no new attempt.
+    _, mode, _, reason = ladder.select(
+        snapshot, 4, np.random.default_rng(5), score_fn=broken
+    )
+    assert mode == "weighted" and reason == "breaker_open"
+    assert ladder.stats["score_failures"] == 2
+
+
+def test_expired_deadline_falls_all_the_way_to_uniform(snapshot):
+    clock = FakeClock()
+    deadline = Deadline(1.0, clock=clock)
+    clock.now = 2.0  # fully expired before the ladder starts
+    ladder = DegradationLadder()
+    finals, mode, degraded, reason = ladder.select(
+        snapshot,
+        7,
+        np.random.default_rng(6),
+        score_fn=_score,
+        deadline=deadline,
+    )
+    assert mode == "uniform" and degraded
+    assert reason == "accuracy_deadline"
+    assert finals.shape == (7,)
+    assert np.isin(finals, snapshot.tip_nodes).all()  # uniform picks real tips
+    assert ladder.stats["uniform"] == 1
+    assert ladder.stats["deadline_trips"] >= 1
+    assert ladder.stats["degraded"] == 1  # counted once, not per stage
+
+
+def test_ladder_modes_are_quality_ordered():
+    assert LADDER_MODES == ("accuracy", "weighted", "uniform")
+
+
+def test_accuracy_fraction_validation():
+    with pytest.raises(ValueError):
+        DegradationLadder(accuracy_fraction=0.0)
+    with pytest.raises(ValueError):
+        DegradationLadder(accuracy_fraction=1.2)

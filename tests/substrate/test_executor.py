@@ -217,3 +217,55 @@ def test_auto_records_fallback_rounds():
         assert ex.last_mode == "fallback"
         assert ex.map(square, [1, 2, 3, 4]) == [1, 4, 9, 16]
         assert ex.mode_counts == {"serial": 0, "parallel": 1, "fallback": 1}
+
+
+# ------------------------------------------------- swallowed shutdown errors
+class _ShutdownRaises:
+    """Stand-in pool whose shutdown fails with a configurable error."""
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+        self.calls = 0
+
+    def shutdown(self, wait=True):
+        self.calls += 1
+        raise self.exc
+
+
+def test_discard_broken_pool_counts_and_logs_concrete_failures(caplog):
+    ex = ParallelExecutor(workers=2)
+    fake = _ShutdownRaises(OSError("pipe already closed"))
+    ex._pool = fake
+    with caplog.at_level("WARNING", logger="repro.substrate.executor"):
+        ex._discard_broken_pool()
+    assert ex._pool is None  # the pool is discarded despite the failure
+    assert fake.calls == 1
+    assert ex.mode_counts["shutdown_error"] == 1
+    assert "OSError" in caplog.text  # the swallowed type is named
+
+
+def test_discard_broken_pool_propagates_unexpected_errors():
+    # The old bare `except Exception` hid programming errors; the
+    # narrowed handler lets anything that is not a concrete pool
+    # teardown failure surface.
+    ex = ParallelExecutor(workers=2)
+    ex._pool = _ShutdownRaises(ValueError("not a pool failure"))
+    with pytest.raises(ValueError):
+        ex._discard_broken_pool()
+    ex._pool = None  # keep the poisoned fake from re-raising at GC time
+
+
+def test_del_counts_swallowed_close_failure(caplog):
+    ex = ParallelExecutor(workers=2)
+    ex._pool = _ShutdownRaises(RuntimeError("cannot schedule new futures"))
+    with caplog.at_level("WARNING", logger="repro.substrate.executor"):
+        ex.__del__()  # must not raise
+    assert ex.mode_counts["shutdown_error"] == 1
+    assert "RuntimeError" in caplog.text
+
+
+def test_del_without_pool_is_inert():
+    ex = ParallelExecutor(workers=2)
+    assert ex._pool is None
+    ex.__del__()  # no pool, nothing to count
+    assert ex.mode_counts["shutdown_error"] == 0

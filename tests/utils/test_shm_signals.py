@@ -1,0 +1,132 @@
+"""Signal-driven reaping of owned shared-memory segments.
+
+The registry's atexit hook only covers orderly interpreter exits; these
+tests pin the satellite guarantee that a coordinator killed by SIGTERM
+or interrupted by SIGINT also unlinks everything it owns — the same
+invariant the CI ``/dev/shm`` leak check enforces — and that our
+handler chains rather than swallows the signal.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.utils import shm
+
+#: A child coordinator: allocates a segment, reports its name on stdout,
+#: then blocks until a signal arrives.
+_CHILD = textwrap.dedent(
+    """
+    import sys, time
+    from repro.utils import shm
+
+    seg = shm.create_segment(1024)
+    print(seg.name, flush=True)
+    time.sleep(60)  # the signal interrupts this
+    """
+)
+
+
+def _spawn_child() -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _CHILD],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    name = proc.stdout.readline().strip()
+    assert name.startswith(shm.segment_prefix()), name
+    return proc, name
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_child_coordinator_reaps_segments_on_signal(signum):
+    proc, name = _spawn_child()
+    path = Path("/dev/shm") / name
+    if not path.exists():  # platform without a visible shm filesystem
+        proc.kill()
+        proc.wait(timeout=30)
+        pytest.skip("no /dev/shm to observe")
+    proc.send_signal(signum)
+    proc.wait(timeout=30)
+    assert not path.exists(), f"{name} survived {signal.Signals(signum).name}"
+
+
+def test_sigterm_death_status_is_preserved():
+    # Chaining through SIG_DFL must re-deliver the signal, so the exit
+    # status still says "killed by SIGTERM", not a clean exit.
+    proc, _ = _spawn_child()
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30) == -signal.SIGTERM
+
+
+def test_sigint_still_raises_keyboard_interrupt():
+    # The chained previous handler for SIGINT is Python's default one;
+    # the child should die with the usual KeyboardInterrupt traceback.
+    proc, _ = _spawn_child()
+    proc.send_signal(signal.SIGINT)
+    proc.wait(timeout=30)
+    assert "KeyboardInterrupt" in proc.stderr.read()
+
+
+def test_reapers_install_once_and_chain_existing_handler():
+    # In-process check of the installation bookkeeping, without touching
+    # this test runner's real handlers: drive the handler directly.
+    called = []
+    previous = {signal.SIGTERM: lambda s, f: called.append(s)}
+    saved = shm._previous_handlers.copy()
+    try:
+        shm._previous_handlers.update(previous)
+        shm._reap_and_chain(signal.SIGTERM, None)
+        assert called == [signal.SIGTERM]
+        assert not shm.owned_segment_names()
+    finally:
+        shm._previous_handlers.clear()
+        shm._previous_handlers.update(saved)
+
+
+def test_worker_thread_allocation_defers_installation():
+    # First allocation from a non-main thread must not try (and fail) to
+    # set handlers; installation waits for a main-thread allocation.
+    code = textwrap.dedent(
+        """
+        import threading
+        from repro.utils import shm
+
+        def alloc():
+            seg = shm.create_segment(64)
+            shm.unlink_segment(seg.name)
+
+        t = threading.Thread(target=alloc)
+        t.start(); t.join()
+        assert not shm._reapers_installed
+        seg = shm.create_segment(64)
+        assert shm._reapers_installed
+        shm.unlink_segment(seg.name)
+        print("ok")
+        """
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "ok"
+
+
+def test_handler_is_reentrant_with_no_owned_segments():
+    # release_all on an empty registry plus SIG_IGN chaining is a no-op.
+    saved = shm._previous_handlers.copy()
+    try:
+        shm._previous_handlers[signal.SIGTERM] = signal.SIG_IGN
+        shm._reap_and_chain(signal.SIGTERM, None)  # must simply return
+    finally:
+        shm._previous_handlers.clear()
+        shm._previous_handlers.update(saved)
+    assert os.getpid() > 0  # we survived
