@@ -1,0 +1,268 @@
+"""Million-transaction trajectory: O(delta) growth, bounded residency.
+
+PR 10 makes tangle growth cost proportional to the publish-epoch delta
+instead of to history: ``snapshot_for`` *extends* the cached CSR
+snapshot with the new transactions (appending rows, patching candidate
+matrices) rather than rebuilding from scratch, and ``Tangle.compact``
+truncates confirmed history so resident arena bytes stay bounded.
+This file grows one tangle 100x (10^3 -> 10^5 transactions) and pins
+the scaling story to ``BENCH_tangle_scale.json`` for CI:
+
+- **Flat selection latency**: accuracy-mode ``select_tips`` p50 at
+  10^5 transactions must stay within 1.5x of its 10^3-transaction
+  value — the walk touches a depth-bounded neighborhood plus O(1)
+  snapshot-cache work, never the whole history.
+- **Extend beats rebuild**: applying a publish-epoch delta to the
+  cached snapshot must be >= 5x cheaper than a cold rebuild at 10^5
+  transactions — and **bit-identical** to it (CSR arrays, candidate
+  matrices, tip ordering; cumulative weights are asserted at the 10^3
+  checkpoint where the cold bitset comparator is affordable).
+- **Compaction bounds residency**: compacting to the newest 10% must
+  leave < 50% (here ~10%) of the uncompacted resident arena bytes,
+  with the tangle still serving selections afterwards.
+
+Timings are medians (p50) or best-of-N so a noisy CI neighbor cannot
+flake the comparison.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dag.tangle import Tangle
+from repro.dag.tip_selection import AccuracyTipSelector
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.dag.walk_engine import TangleSnapshot, clear_snapshot_cache, snapshot_for
+
+SMALL = 1_000
+LARGE = 100_000
+DELTA = 200  # one publish epoch's worth of growth at the large scale
+WINDOW = 64  # parents attach among the newest WINDOW transactions
+COUNT = 8  # particles per selection
+SELECTIONS = 21  # per p50 sample
+P50_RATIO_FLOOR = round(1 / 1.5, 6)  # p50_small/p50_large >= 1/1.5
+EXTEND_FLOOR = 5.0
+COMPACT_FLOOR = 2.0  # resident_before/resident_after >= 2 (< 50% kept)
+DIM = 8
+
+_RESULTS: dict = {}
+_STATE: dict = {}
+
+STRUCTURAL = (
+    "parent_indptr",
+    "parent_indices",
+    "approver_indptr",
+    "approver_indices",
+    "tip_nodes",
+    "sink_nodes",
+)
+PLANES = ("parents_padded", "approvers_padded", "longest_past_path")
+
+
+def _grow(tangle, recent, rng, n):
+    """Append ``n`` transactions, each approving two of the newest
+    ``WINDOW`` — the recency bias every live tangle has, which keeps
+    the tip set bounded while depth keeps growing."""
+    for _ in range(n):
+        parents = tuple(
+            dict.fromkeys(
+                recent[int(rng.integers(0, len(recent)))] for _ in range(2)
+            )
+        )
+        tx = Transaction(
+            tangle.next_tx_id(int(rng.integers(0, 16))),
+            parents,
+            [rng.normal(size=DIM)],
+            0,
+            len(tangle) // 32,
+        )
+        tangle.add(tx)
+        recent.append(tx.tx_id)
+        del recent[:-WINDOW]
+
+
+def _selector(cache):
+    def batch_scores(tx_ids):
+        # Deterministic-per-id synthetic accuracy: stable under caching,
+        # zero model-evaluation cost, so timings isolate walk machinery.
+        return np.array([(hash(t) % 997) / 997.0 for t in tx_ids])
+
+    return AccuracyTipSelector(
+        batch_accuracy_fn=batch_scores,
+        alpha=5.0,
+        depth_range=(15, 25),
+        engine=True,
+        score_cache_fn=lambda: cache,
+        cache_epoch_fn=lambda: 0,
+    )
+
+
+def _p50_select(tangle, selector, seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(3):  # warm: snapshot cached, planes materialized
+        selector.select_tips(tangle, COUNT, rng)
+    times = []
+    for _ in range(SELECTIONS):
+        start = time.perf_counter()
+        selector.select_tips(tangle, COUNT, rng)
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def _best_of(fn, repeats=3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# -------------------------------------------------- flat select latency
+def test_select_tips_p50_stays_flat_100x():
+    clear_snapshot_cache()
+    rng = np.random.default_rng(3)
+    tangle = Tangle([np.zeros(DIM)])
+    recent = [GENESIS_ID]
+    cache: dict = {}
+    selector = _selector(cache)
+
+    _grow(tangle, recent, rng, SMALL)
+    p50_small = _p50_select(tangle, selector, seed=11)
+
+    _grow(tangle, recent, rng, LARGE - len(tangle) + 1)
+    assert len(tangle) == LARGE + 1
+    p50_large = _p50_select(tangle, selector, seed=13)
+
+    ratio = p50_small / p50_large
+    _RESULTS["select_tips_p50"] = {
+        "small_transactions": SMALL,
+        "large_transactions": LARGE,
+        "p50_small_s": p50_small,
+        "p50_large_s": p50_large,
+        "speedup": ratio,  # >= 1/1.5 means large stays within 1.5x small
+        "floor": P50_RATIO_FLOOR,
+    }
+    _STATE["tangle"] = tangle
+    _STATE["recent"] = recent
+    _STATE["rng"] = rng
+    assert ratio >= P50_RATIO_FLOOR, (
+        f"select_tips p50 degraded 100x in: {p50_small * 1e3:.3f}ms @ "
+        f"{SMALL} -> {p50_large * 1e3:.3f}ms @ {LARGE}"
+    )
+
+
+# ---------------------------------------------- extend vs cold rebuild
+def test_snapshot_extend_beats_cold_rebuild_at_scale():
+    tangle, recent, rng = _STATE["tangle"], _STATE["recent"], _STATE["rng"]
+    clear_snapshot_cache()
+    base = snapshot_for(tangle)
+    for name in PLANES:  # the maintained state extension must patch
+        getattr(base, name)()
+    _grow(tangle, recent, rng, DELTA)
+
+    def extend():
+        return base.extend(tangle)
+
+    def rebuild():
+        snapshot = TangleSnapshot.build(tangle)
+        for name in PLANES:
+            getattr(snapshot, name)()
+        return snapshot
+
+    extend_s, extended = _best_of(extend, repeats=5)
+    rebuild_s, cold = _best_of(rebuild, repeats=3)
+
+    # Bit-identity at full scale: the extended snapshot IS the rebuild.
+    assert extended.ids == cold.ids
+    for name in STRUCTURAL:
+        np.testing.assert_array_equal(
+            getattr(extended, name), getattr(cold, name), err_msg=name
+        )
+    for name in PLANES:
+        np.testing.assert_array_equal(
+            getattr(extended, name)(), getattr(cold, name)(), err_msg=name
+        )
+
+    speedup = rebuild_s / extend_s
+    _RESULTS["snapshot_extend"] = {
+        "transactions": len(tangle),
+        "delta": DELTA,
+        "extend_s": extend_s,
+        "rebuild_s": rebuild_s,
+        "speedup": speedup,
+        "floor": EXTEND_FLOOR,
+    }
+    assert speedup >= EXTEND_FLOOR, (
+        f"extend {extend_s * 1e3:.2f}ms vs rebuild {rebuild_s * 1e3:.2f}ms "
+        f"= {speedup:.1f}x < {EXTEND_FLOOR}x"
+    )
+
+
+def test_extend_weights_bit_identical_at_checkpoint():
+    """Cumulative weights: the incremental bitset extension equals the
+    cold bitset pass — asserted at the 10^3 checkpoint, where the cold
+    O(N^2/64) comparator is affordable."""
+    clear_snapshot_cache()
+    rng = np.random.default_rng(5)
+    tangle = Tangle([np.zeros(DIM)])
+    recent = [GENESIS_ID]
+    _grow(tangle, recent, rng, SMALL)
+    base = snapshot_for(tangle)
+    base._weight_authority = None  # force + materialize the bitset path
+    base.cumulative_weights()
+    _grow(tangle, recent, rng, DELTA)
+    extended = base.extend(tangle)
+    cold = TangleSnapshot.build(tangle)
+    cold._weight_authority = None
+    np.testing.assert_array_equal(
+        extended.cumulative_weights(), cold.cumulative_weights()
+    )
+    _RESULTS["weight_bit_identity"] = {
+        "transactions": len(tangle),
+        "delta": DELTA,
+        "asserted": True,
+    }
+
+
+# ------------------------------------------------- compaction residency
+def test_compaction_bounds_resident_arena_bytes():
+    tangle, rng = _STATE["tangle"], _STATE["rng"]
+    cache: dict = {}
+    compact_s, report = _best_of(
+        lambda: tangle.compact(keep_last=LARGE // 10), repeats=1
+    )
+    assert report.dropped > 0
+    ratio = report.resident_before / report.resident_after
+    # The compacted tangle still serves selections.
+    selector = _selector(cache)
+    tips = selector.select_tips(tangle, COUNT, np.random.default_rng(17))
+    assert len(tips) == COUNT and all(t in tangle for t in tips)
+    _RESULTS["arena_compaction"] = {
+        "kept_transactions": report.kept,
+        "dropped_transactions": report.dropped,
+        "resident_before_bytes": report.resident_before,
+        "resident_after_bytes": report.resident_after,
+        "compact_s": compact_s,
+        "speedup": ratio,  # >= 2 means < 50% of bytes stay resident
+        "floor": COMPACT_FLOOR,
+    }
+    assert ratio >= COMPACT_FLOOR, (
+        f"compaction kept {report.resident_after}/{report.resident_before} "
+        f"bytes resident ({100 / ratio:.0f}%), floor is < 50%"
+    )
+
+
+# ------------------------------------------------------------- emission
+def test_zzz_emit_bench_tangle_scale_json():
+    out = Path(
+        os.environ.get(
+            "BENCH_TANGLE_SCALE_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_tangle_scale.json",
+        )
+    )
+    out.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+    assert out.exists()

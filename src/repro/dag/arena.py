@@ -35,9 +35,27 @@ read-only: only the owning process interns.  :meth:`close` unlinks the
 owner's segment (idempotent; live views stay valid), and the
 :mod:`repro.utils.shm` registry unlinks anything left at interpreter
 exit.
+
+**Spill backing.**  :meth:`to_spilled` migrates the slab into a
+memory-mapped file (``numpy.memmap``) instead of a shared-memory
+segment: the rows leave RAM — :attr:`resident_nbytes` drops to 0, the
+kernel pages them in on demand and may evict them at will — while every
+read keeps working unchanged.  This is the cold end of the storage
+ladder (heap → shm → mmap): :meth:`~repro.dag.tangle.Tangle.compact`
+uses it to archive the model rows of truncated history without holding
+them resident.  Spilled arenas are **archival**: :meth:`intern` raises,
+pickling ships an open-by-path handle (the receiver maps the file
+read-only), and :meth:`close` copies the rows back to heap and deletes
+the file.  Unnamed spills go to temp files that are removed at
+interpreter exit.
 """
 
 from __future__ import annotations
+
+import atexit
+import os
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -45,6 +63,22 @@ from repro.nn.serialization import FlatSpec
 from repro.utils import shm as shm_registry
 
 __all__ = ["WeightArena"]
+
+#: Auto-created (unnamed) spill files, removed at interpreter exit so a
+#: benchmark or test that never calls close() cannot litter the disk.
+_TEMP_SPILLS: set = set()
+
+
+def _purge_temp_spills() -> None:
+    for path in list(_TEMP_SPILLS):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    _TEMP_SPILLS.clear()
+
+
+atexit.register(_purge_temp_spills)
 
 #: Estimated pickle size of an attach-by-name handle (name, uid, shape
 #: metadata) — what a shared arena costs on the wire instead of its slab.
@@ -71,6 +105,7 @@ class WeightArena:
         self.dtype = dtype
         self._rows = 0
         self._shm = None  # SharedMemory backing the slab (None = heap)
+        self._mmap_path: Path | None = None  # spill file backing the slab
         self._attached = False  # True in worker processes (read-only)
         self.uid: str | None = None
         # Bumped whenever the slab moves (growth or shared migration):
@@ -107,9 +142,29 @@ class WeightArena:
         return self._rows * self.spec.total * self.dtype.itemsize
 
     @property
+    def resident_nbytes(self) -> int:
+        """Bytes of live rows held resident in RAM.
+
+        Equal to :attr:`nbytes` for heap and shared-memory arenas; 0
+        for spilled ones, whose pages are file-backed and reclaimable
+        by the kernel (touched pages may transiently occupy page cache,
+        but nothing is pinned)."""
+        return 0 if self._mmap_path is not None else self.nbytes
+
+    @property
     def is_shared(self) -> bool:
         """True when the slab lives in a named shared-memory segment."""
         return self._shm is not None
+
+    @property
+    def is_spilled(self) -> bool:
+        """True when the slab lives in a memory-mapped spill file."""
+        return self._mmap_path is not None
+
+    @property
+    def spill_path(self) -> Path | None:
+        """Path of the backing spill file (None unless spilled)."""
+        return self._mmap_path
 
     @property
     def is_attached(self) -> bool:
@@ -153,6 +208,11 @@ class WeightArena:
             raise RuntimeError(
                 "cannot intern into a read-only attached arena; only the "
                 "owning process appends rows"
+            )
+        if self._mmap_path is not None:
+            raise RuntimeError(
+                "spilled arenas are archival (read-only); close() restores "
+                "heap backing before appending"
             )
         flat = np.asarray(flat)
         if flat.shape != (self.spec.total,):
@@ -209,27 +269,91 @@ class WeightArena:
         self.generation += 1
         return self
 
-    def close(self) -> None:
-        """Unlink the owned segment and revert to heap backing (idempotent).
+    # ------------------------------------------------ spill (mmap) backing
+    def to_spilled(self, path=None) -> "WeightArena":
+        """Migrate the slab into a memory-mapped file (idempotent).
 
-        The inverse of :meth:`to_shared`: live rows are copied back to a
-        heap slab (so the arena stays fully usable — and re-shareable —
-        afterwards, never pickling a handle to a name that no longer
-        exists), then the segment's name is unlinked.  Mappings held by
-        attached workers stay valid; the memory is reclaimed when the
-        last one is collected.  Attached arenas never unlink: the owner
-        does.
+        One bit-exact copy of the live rows into ``path`` (a temp file
+        when omitted, removed at interpreter exit), after which the
+        arena's rows are file-backed: :attr:`resident_nbytes` is 0 and
+        the kernel pages rows in on demand.  The growth headroom is
+        trimmed — spilled arenas are frozen archives (:meth:`intern`
+        raises) — and a shared-memory segment, if any, is unlinked once
+        its contents land in the file.  Bumps ``generation`` so cached
+        row views rebuild.  Returns ``self`` for chaining.
         """
-        if self._shm is None or self._attached:
-            return
-        heap = np.empty((self.capacity, self.spec.total), dtype=self.dtype)
-        heap[: self._rows] = self._slab[: self._rows]
-        old_name = self._shm.name
-        self._slab = heap
-        self._shm = None
-        self.uid = None
+        if self._mmap_path is not None:
+            return self
+        if self._attached:
+            raise RuntimeError(
+                "attached arenas cannot be spilled; only the owner "
+                "chooses the backing"
+            )
+        if path is None:
+            fd, name = tempfile.mkstemp(prefix="repro-spill-", suffix=".bin")
+            os.close(fd)
+            path = Path(name)
+            _TEMP_SPILLS.add(path)
+        else:
+            path = Path(path)
+            if path.parent != Path("."):
+                path.parent.mkdir(parents=True, exist_ok=True)
+        slab = np.memmap(
+            path,
+            dtype=self.dtype,
+            mode="w+",
+            shape=(max(1, self._rows), self.spec.total),
+        )
+        slab[: self._rows] = self._slab[: self._rows]
+        slab.flush()
+        if self._shm is not None:
+            old_name = self._shm.name
+            self._shm = None
+            self.uid = None
+            shm_registry.unlink_segment(old_name)
+        self._slab = slab
+        self._mmap_path = path
         self.generation += 1
-        shm_registry.unlink_segment(old_name)
+        return self
+
+    def close(self) -> None:
+        """Release any non-heap backing and revert to heap (idempotent).
+
+        The inverse of :meth:`to_shared` / :meth:`to_spilled`: live rows
+        are copied back to a heap slab (so the arena stays fully usable
+        — and re-shareable or re-spillable — afterwards, never pickling
+        a handle to a name that no longer exists), then the
+        shared-memory segment is unlinked or the spill file deleted.
+        Mappings held by attached workers stay valid; the memory is
+        reclaimed when the last one is collected.  Attached arenas never
+        unlink or delete: the owner does.
+        """
+        if self._attached:
+            return
+        if self._shm is not None:
+            heap = np.empty((self.capacity, self.spec.total), dtype=self.dtype)
+            heap[: self._rows] = self._slab[: self._rows]
+            old_name = self._shm.name
+            self._slab = heap
+            self._shm = None
+            self.uid = None
+            self.generation += 1
+            shm_registry.unlink_segment(old_name)
+            return
+        if self._mmap_path is not None:
+            heap = np.empty(
+                (max(1, self._rows), self.spec.total), dtype=self.dtype
+            )
+            heap[: self._rows] = self._slab[: self._rows]
+            path = self._mmap_path
+            self._slab = heap
+            self._mmap_path = None
+            self.generation += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            _TEMP_SPILLS.discard(path)
 
     def __enter__(self) -> "WeightArena":
         return self
@@ -240,8 +364,10 @@ class WeightArena:
     # ------------------------------------------------------- cost model
     def _cost_footprint(self, walk) -> tuple[int, int]:
         """(bytes actually shipped, dense working-set bytes) — the
-        :mod:`repro.substrate.cost` hook."""
-        return (HANDLE_NBYTES if self._shm is not None else self.nbytes, self.nbytes)
+        :mod:`repro.substrate.cost` hook.  Shared and spilled arenas
+        ship a few-hundred-byte attach handle instead of the slab."""
+        handle = self._shm is not None or self._mmap_path is not None
+        return (HANDLE_NBYTES if handle else self.nbytes, self.nbytes)
 
     # ------------------------------------------------------------ pickling
     def __getstate__(self) -> dict:
@@ -258,6 +384,17 @@ class WeightArena:
                 "spec_shapes": self.spec.shapes,
                 "dtype": self.dtype.str,
             }
+        if self._mmap_path is not None:
+            # Attach-by-path handle: the receiver maps the spill file
+            # read-only; the bytes stay on disk.
+            return {
+                "mode": "mmap",
+                "path": str(self._mmap_path),
+                "generation": self.generation,
+                "rows": self._rows,
+                "spec_shapes": self.spec.shapes,
+                "dtype": self.dtype.str,
+            }
         # Ship only the written rows, never the growth headroom: a pickled
         # arena is exactly one contiguous buffer of live models.
         return {
@@ -269,6 +406,7 @@ class WeightArena:
     def __setstate__(self, state: dict) -> None:
         self.spec = FlatSpec(state["spec_shapes"])
         self.dtype = np.dtype(state["dtype"])
+        self._mmap_path = None
         if state.get("mode") == "shm":
             self.uid = state["uid"]
             segment = shm_registry.attach_cached(self.uid, state["name"])
@@ -280,6 +418,20 @@ class WeightArena:
             )
             self._slab = self._segment_slab(segment, capacity)
             self._rows = state["rows"]
+            self.generation = state["generation"]
+            return
+        if state.get("mode") == "mmap":
+            self._mmap_path = Path(state["path"])
+            self._rows = state["rows"]
+            self._slab = np.memmap(
+                self._mmap_path,
+                dtype=self.dtype,
+                mode="r",
+                shape=(max(1, self._rows), self.spec.total),
+            )
+            self._shm = None
+            self._attached = True
+            self.uid = None
             self.generation = state["generation"]
             return
         slab = state["slab"]

@@ -18,11 +18,23 @@ don't match the recorded spec, and non-finite weight values all raise
 :class:`CorruptTangleError` naming the offending transaction — a
 truncated or bit-rotted file fails at the load site with a clear
 message instead of deep inside a later merge or walk.
+
+Checkpoints round-trip **compaction state** (see ``docs/scaling.md``):
+the genesis meta entry records the publish counter and the
+:attr:`~repro.dag.tangle.Tangle.compaction_epoch`, so a tangle saved
+after a :meth:`~repro.dag.tangle.Tangle.compact` reloads with burned
+transaction ids still burned (``next_tx_id`` never re-issues an id
+that was truncated away) and with its epoch intact (cached walk
+snapshots keyed on the old epoch can never be mistaken for the
+reloaded DAG's).  Files written before these fields existed still
+load; the counter is then recovered from the largest ``tx<N>-...`` id
+present.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import zipfile
 from pathlib import Path
 
@@ -72,8 +84,15 @@ def save_tangle(tangle: Tangle, path: str | Path) -> Path:
             "tags": tx.tags,
             "shapes": [list(shape) for shape in spec.shapes],
         }
-        if not meta:  # genesis carries the tangle-wide storage dtype
+        if not meta:
+            # Genesis carries tangle-wide state: the storage dtype, the
+            # publish counter (so reloaded tangles never re-issue ids
+            # burned before a compaction), and the compaction epoch (so
+            # snapshot fingerprints of the reloaded tangle line up with
+            # its pre-save cache history).
             entry["store_dtype"] = store_dtype
+            entry["counter"] = tangle._counter
+            entry["compaction_epoch"] = tangle.compaction_epoch
         meta.append(entry)
         arrays[f"{tx.tx_id}/flat"] = tx.flat_vector(spec)
     arrays[_META_KEY] = np.frombuffer(
@@ -179,4 +198,18 @@ def _load_validated(path: Path) -> Tangle:
                     tags=entry["tags"],
                 )
             )
+        if "counter" in meta[0]:
+            tangle._counter = int(meta[0]["counter"])
+        else:
+            # Legacy file: recover the publish counter from the ids
+            # actually present, so next_tx_id cannot collide with them.
+            tangle._counter = max(
+                (
+                    int(m.group(1))
+                    for entry in meta
+                    if (m := re.match(r"tx(\d+)-", entry["tx_id"]))
+                ),
+                default=0,
+            )
+        tangle._compaction_epoch = int(meta[0].get("compaction_epoch", 0))
     return tangle

@@ -1,8 +1,18 @@
-"""Append-only DAG store with tip bookkeeping and weight queries."""
+"""Append-only DAG store with tip bookkeeping, weight queries, and
+checkpoint compaction.
+
+The store is append-only *between compactions*: :meth:`Tangle.compact`
+truncates confirmed history below a cut — dropped models are freed (or
+spilled to a memory-mapped archive) and surviving parents below the cut
+remap to genesis — and bumps :attr:`Tangle.compaction_epoch`, the term
+every snapshot fingerprint carries so caches never serve pre-compaction
+state (see ``docs/scaling.md``).
+"""
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -10,7 +20,28 @@ from repro.dag.arena import WeightArena
 from repro.dag.transaction import GENESIS_ID, Transaction
 from repro.nn.serialization import FlatSpec
 
-__all__ = ["Tangle"]
+__all__ = ["Tangle", "CompactionReport"]
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :meth:`Tangle.compact` call did.
+
+    ``resident_before``/``resident_after`` are the arena's resident
+    (RAM-backed) byte counts around the cut; ``spill`` is the
+    memory-mapped :class:`~repro.dag.arena.WeightArena` archiving the
+    dropped models (``None`` unless a spill path was given) and
+    ``spill_rows`` maps each dropped transaction id to its row in it.
+    """
+
+    dropped: int
+    kept: int
+    epoch: int
+    resident_before: int
+    resident_after: int
+    dropped_ids: tuple[str, ...] = ()
+    spill: WeightArena | None = None
+    spill_rows: dict | None = None
 
 
 class Tangle:
@@ -71,6 +102,7 @@ class Tangle:
         self._weights: dict[str, int] = {GENESIS_ID: 1}
         self._weights_dirty = True
         self._last_round_index = -1
+        self._compaction_epoch = 0
 
     # ------------------------------------------------------------ queries
     def __contains__(self, tx_id: str) -> bool:
@@ -136,6 +168,8 @@ class Tangle:
         return self.get(tx_id).flat_vector(self._spec)
 
     def get(self, tx_id: str) -> Transaction:
+        """The transaction stored under ``tx_id`` (KeyError if unknown —
+        including ids truncated by a past :meth:`compact`)."""
         try:
             return self._transactions[tx_id]
         except KeyError:
@@ -144,6 +178,26 @@ class Tangle:
     def transactions(self) -> list[Transaction]:
         """All transactions in insertion (topological) order."""
         return [self._transactions[tx_id] for tx_id in self._order]
+
+    def transactions_since(self, start: int) -> list[Transaction]:
+        """Transactions appended at insertion positions ``>= start``.
+
+        The delta accessor behind snapshot extension: between
+        compactions the store is append-only, so the suffix of the
+        insertion order *is* the publish-epoch delta — O(delta) to
+        produce, never O(history)."""
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        return [self._transactions[tx_id] for tx_id in self._order[start:]]
+
+    @property
+    def compaction_epoch(self) -> int:
+        """How many compactions this tangle has undergone.
+
+        Snapshot fingerprints include this term: a post-compaction
+        tangle whose length happens to match a pre-compaction one must
+        never be served a stale cached snapshot."""
+        return self._compaction_epoch
 
     def approvers(self, tx_id: str) -> list[str]:
         """Transactions that directly approve ``tx_id`` (walk successors)."""
@@ -156,6 +210,7 @@ class Tangle:
         return sorted(self._tips)
 
     def is_tip(self, tx_id: str) -> bool:
+        """Whether ``tx_id`` currently has no approvers."""
         return tx_id in self._tips
 
     @property
@@ -209,6 +264,148 @@ class Tangle:
         except ValueError:
             return  # foreign architecture: keep per-transaction storage
         transaction.bind_arena(self._arena, self._arena.intern(flat))
+
+    # ---------------------------------------------------------- compaction
+    def compact(
+        self,
+        *,
+        keep_last: int | None = None,
+        min_round: int | None = None,
+        spill_path=None,
+    ) -> CompactionReport:
+        """Truncate confirmed history below a cut, in place.
+
+        Exactly one of ``keep_last`` (keep the newest N non-genesis
+        transactions) or ``min_round`` (keep every transaction from the
+        first insertion position after which no round index is below
+        ``min_round``) picks the cut.  Both keep an insertion-order
+        *suffix* plus genesis, which is closed under approval — every
+        approver of a kept transaction is newer, hence kept — so the
+        kept sub-DAG's cumulative weights are untouched by the cut.
+
+        What happens at the cut:
+
+        - dropped transactions leave ``transactions()``/``get`` and the
+          weight index; their ids stay burned (the publish counter never
+          rewinds), so a checkpoint written after a compaction can be
+          reloaded and extended without id collisions;
+        - kept transactions whose parents fell below the cut re-parent
+          onto genesis (duplicates collapsed, approval order kept) —
+          the DAG stays rooted and walkable;
+        - the :class:`WeightArena` is rebuilt with only the kept rows
+          (shared-memory backing is preserved); the dropped rows are
+          freed, or — when ``spill_path`` names a file — archived first
+          into a memory-mapped spill arena returned on the report;
+        - :attr:`compaction_epoch` bumps, which retires every cached
+          walk snapshot of this tangle (their fingerprints carry the
+          epoch), and live readers holding old snapshots or old
+          :class:`Transaction` objects keep working off the state they
+          captured.
+
+        No-op (epoch unchanged) when nothing falls below the cut.
+        """
+        if (keep_last is None) == (min_round is None):
+            raise ValueError(
+                "exactly one of keep_last / min_round is required"
+            )
+        order = self._order
+        if keep_last is not None:
+            if keep_last < 0:
+                raise ValueError(f"keep_last must be >= 0, got {keep_last}")
+            cut = max(1, len(order) - keep_last)
+        else:
+            cut = 1
+            for i in range(len(order) - 1, 0, -1):
+                if self._transactions[order[i]].round_index < min_round:
+                    cut = i + 1
+                    break
+        dropped_ids = tuple(order[1:cut])
+        resident_before = self._arena.resident_nbytes
+        if not dropped_ids:
+            return CompactionReport(
+                dropped=0,
+                kept=len(self),
+                epoch=self._compaction_epoch,
+                resident_before=resident_before,
+                resident_after=resident_before,
+            )
+        kept_ids = [GENESIS_ID] + order[cut:]
+        kept_set = set(kept_ids)
+
+        spill = None
+        spill_rows: dict[str, int] | None = None
+        if spill_path is not None:
+            spill = WeightArena(
+                self._spec,
+                dtype=self._arena.dtype,
+                initial_capacity=max(1, len(dropped_ids)),
+            )
+            spill_rows = {}
+            for tx_id in dropped_ids:
+                try:
+                    flat = self._transactions[tx_id].flat_vector(self._spec)
+                except ValueError:
+                    continue  # foreign architecture: nothing arena-shaped
+                spill_rows[tx_id] = spill.intern(flat)
+            spill.to_spilled(spill_path)
+
+        old_arena = self._arena
+        fresh = WeightArena(
+            self._spec,
+            dtype=old_arena.dtype,
+            initial_capacity=max(16, len(kept_ids)),
+        )
+        for tx_id in kept_ids:
+            tx = self._transactions[tx_id]
+            if tx.parents:
+                remapped = tuple(
+                    dict.fromkeys(
+                        p if p in kept_set else GENESIS_ID for p in tx.parents
+                    )
+                )
+                if remapped != tx.parents:
+                    tx.parents = remapped
+            try:
+                flat = tx.flat_vector(self._spec)
+            except ValueError:
+                continue
+            tx.bind_arena(fresh, fresh.intern(flat))
+        if old_arena.is_shared:
+            fresh.to_shared()
+        self._arena = fresh
+        old_arena.close()
+
+        self._transactions = {t: self._transactions[t] for t in kept_ids}
+        approvers: dict[str, list[str]] = {t: [] for t in kept_ids}
+        for tx_id in kept_ids[1:]:
+            for parent in self._transactions[tx_id].parents:
+                approvers[parent].append(tx_id)
+        self._approvers = approvers
+        # The oldest kept transaction always re-parents onto genesis, so
+        # genesis is a tip only when it is alone.
+        self._tips = {t for t in kept_ids if not approvers[t]}
+        self._order = kept_ids
+        self._last_round_index = max(
+            (
+                self._transactions[t].round_index
+                for t in kept_ids
+                if t != GENESIS_ID
+            ),
+            default=-1,
+        )
+        self._weights = {GENESIS_ID: 1}
+        self._weights_dirty = True
+        self._compaction_epoch += 1
+        return CompactionReport(
+            dropped=len(dropped_ids),
+            kept=len(kept_ids),
+            epoch=self._compaction_epoch,
+            resident_before=resident_before,
+            resident_after=self._arena.resident_nbytes,
+            dropped_ids=dropped_ids,
+            spill=spill,
+            spill_rows=spill_rows,
+        )
 
     # ----------------------------------------------------------- analysis
     def future_cone(self, tx_id: str) -> set[str]:

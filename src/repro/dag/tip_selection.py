@@ -99,6 +99,7 @@ class RandomTipSelector:
     def select_tips(
         self, tangle: Tangle, count: int, rng: np.random.Generator
     ) -> list[str]:
+        """``count`` tips drawn uniformly (distinct while supply lasts)."""
         tips = tangle.tips()
         distinct = min(count, len(tips))
         chosen = list(rng.choice(len(tips), size=distinct, replace=False))
@@ -164,6 +165,8 @@ class WeightedTipSelector:
     def select_tips(
         self, tangle: Tangle, count: int, rng: np.random.Generator
     ) -> list[str]:
+        """``count`` tips via weight-biased walks (lockstep when
+        ``engine`` is set, else one sequential walk per tip)."""
         if self.engine:
             return self._select_tips_engine(tangle, count, rng)
         batch_weights = getattr(tangle, "cumulative_weights", None)
@@ -343,6 +346,8 @@ class AccuracyTipSelector:
     def select_tips(
         self, tangle: Tangle, count: int, rng: np.random.Generator
     ) -> list[str]:
+        """``count`` tips via accuracy-biased walks (Algorithm 1;
+        lockstep supersteps when ``engine`` is set)."""
         if self.engine:
             return self._select_tips_engine(tangle, count, rng)
         selected = []

@@ -67,15 +67,18 @@ class TangleView:
         return self._tangle.genesis
 
     def get(self, tx_id: str) -> Transaction:
+        """The transaction under ``tx_id`` if visible (KeyError otherwise)."""
         tx = self._tangle.get(tx_id)
         if not self._visible(tx):
             raise KeyError(f"transaction {tx_id!r} not visible at round {self.max_round}")
         return tx
 
     def transactions(self) -> list[Transaction]:
+        """Visible transactions in the tangle's insertion order."""
         return [tx for tx in self._tangle.transactions() if self._visible(tx)]
 
     def approvers(self, tx_id: str) -> list[str]:
+        """Visible transactions that directly approve ``tx_id``."""
         self.get(tx_id)  # visibility check
         return [
             a
@@ -88,6 +91,7 @@ class TangleView:
         return visible_tips(self._tangle, self._visible)
 
     def is_tip(self, tx_id: str) -> bool:
+        """Whether ``tx_id`` is visible and has no visible approvers."""
         return tx_id in self and not self.approvers(tx_id)
 
     def cumulative_weight(self, tx_id: str) -> int:

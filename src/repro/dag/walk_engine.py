@@ -12,7 +12,13 @@ tangle:
   into CSR adjacency over dense int node ids: approver lists, parent
   lists, the tip set, and (lazily) cumulative weights.  Built once per
   publish epoch and reused by every walk against the same visible state
-  (:func:`snapshot_for` caches by an append-only fingerprint).
+  (:func:`snapshot_for` caches by an append-only fingerprint).  When an
+  epoch merely *grows* the previous one, :meth:`TangleSnapshot.extend`
+  derives the new snapshot from the cached one in O(delta) — CSR rows
+  appended, candidate matrices patched, bitset cumulative weights
+  extended by delta columns — bit-identical to a cold rebuild, so at
+  10^5+ transactions per-publish maintenance cost stays flat instead of
+  replaying the whole history (see ``docs/scaling.md``).
 - :func:`batched_walk_starts` vectorizes the Popov depth descent: all
   tip draws, all depths, then one gather per descent level.
 - :func:`lockstep_walks` advances every live particle one superstep at
@@ -82,24 +88,35 @@ class WalkDeadlineExceeded(RuntimeError):
 
 
 def _pad_csr(
-    indptr: np.ndarray, indices: np.ndarray, counts: np.ndarray
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    counts: np.ndarray,
+    width: int | None = None,
 ) -> np.ndarray:
-    """Dense ``(N, max(counts))`` matrix of CSR rows, padded by
-    repeating each row's first entry (0 for empty rows).
+    """Dense ``(N, width)`` matrix of CSR rows, padded by repeating each
+    row's first entry (0 for empty rows).
 
     The repeat-first padding keeps every lane a *real* entry, so score
     lookups on padding lanes stay well-defined; callers mask padding
     out of every reduction and sample (column draws for parents are
     ``floor(u * count) < count``; supersteps carry a valid mask).
+
+    ``width`` defaults to ``max(counts)``; :meth:`TangleSnapshot.extend`
+    passes it explicitly when padding a delta slice to the base
+    matrix's lane count.  Fully vectorized: one fill from each row's
+    first entry, one scatter of the real entries.
     """
     n = len(counts)
-    width = max(1, int(counts.max(initial=0)))
-    padded = np.zeros((n, width), dtype=np.int64)
-    for node in range(n):
-        row = indices[indptr[node] : indptr[node + 1]]
-        if row.size:
-            padded[node, : row.size] = row
-            padded[node, row.size :] = row[0]
+    if width is None:
+        width = max(1, int(counts.max(initial=0)))
+    first = np.zeros(n, dtype=np.int64)
+    nonempty = counts > 0
+    first[nonempty] = indices[indptr[:-1][nonempty]]
+    padded = np.repeat(first, width).reshape(n, width)
+    if len(indices):
+        rows = np.repeat(np.arange(n), counts)
+        cols = np.arange(len(indices)) - np.repeat(indptr[:-1], counts)
+        padded[rows, cols] = indices
     return padded
 
 
@@ -118,8 +135,13 @@ class TangleSnapshot:
     Node ids are positions in insertion (topological) order of the
     visible transactions — parents always have a *smaller* id than the
     transactions approving them.  ``ids[node]`` recovers the transaction
-    id; ``index[tx_id]`` the node.  The snapshot is immutable: build it
-    from a frozen view and reuse it for every walk of the epoch.
+    id; ``index[tx_id]`` the node.  A snapshot's arrays never change
+    once built: build it from a frozen view and reuse it for every walk
+    of the epoch.  When the epoch rolls over, :meth:`extend` produces
+    the *next* snapshot as a delta on this one (append-only growth keeps
+    node ids stable), so a long-running tangle pays O(new transactions)
+    per publish epoch rather than O(history) — the delta protocol
+    ``docs/scaling.md`` specifies.
     """
 
     def __init__(
@@ -174,6 +196,20 @@ class TangleSnapshot:
             sorted(tip_nodes.tolist(), key=ids.__getitem__), dtype=np.int64
         )
         self._cumulative: np.ndarray | None = None
+        # Delta-extension provenance (set by build()/extend(); directly
+        # constructed snapshots stay non-extendable): which tangle this
+        # snapshot was cut from, at what length and compaction epoch,
+        # under which visibility bound, and how many of the source's
+        # transactions the bound hid.  snapshot_for() consults these to
+        # route a grown view to extend() instead of a cold rebuild.
+        self._anchor: "weakref.ref | None" = None
+        self._source_len = n
+        self._hidden = 0
+        self._view_kind: str | None = None
+        self._view_bound: object = None
+        self._view_maps: tuple | None = None
+        self._epoch = 0
+        self._max_round_seen: int | None = None
 
     def __len__(self) -> int:
         return len(self.ids)
@@ -209,7 +245,324 @@ class TangleSnapshot:
         if authority is not None:
             snapshot._weight_authority = weakref.ref(authority)
             snapshot._weight_authority_len = len(authority)
+        anchor, key = _fingerprint(view)
+        if key is not None:
+            snapshot._stamp_provenance(anchor, key, transactions)
         return snapshot
+
+    def _stamp_provenance(self, anchor, key: tuple, transactions) -> None:
+        """Record where this snapshot was cut from (see ``__init__``)."""
+        self._anchor = weakref.ref(anchor)
+        self._source_len = key[2]
+        self._hidden = key[2] - len(self.ids)
+        self._epoch = key[-1]
+        self._view_kind = key[0]
+        if key[0] == "view":
+            self._view_bound = key[3]
+        elif key[0] == "timed":
+            self._view_bound = key[3]
+            self._view_maps = (key[5], key[6], key[4])
+        self._max_round_seen = max(
+            (tx.round_index for tx in transactions), default=-1
+        )
+
+    def _can_extend_to(self, anchor, key: tuple) -> bool:
+        """Whether this snapshot's visible set is a prefix of ``key``'s.
+
+        True iff the target view is anchored to the same live tangle at
+        the same compaction epoch and every transaction visible here is
+        visible there, in the same insertion order — the condition under
+        which the target's node ids extend this snapshot's.  The rules
+        per target kind:
+
+        - a raw tangle sees everything, so any snapshot that hid
+          nothing (``_hidden == 0``) extends to it;
+        - a round-bounded view extends a same-bound snapshot (same
+          predicate, append-only growth), or any hole-free snapshot
+          whose highest seen round the new bound covers;
+        - a delay-bounded (timed) view extends only a timed snapshot
+          over the *same* visibility maps, at the same instant or — when
+          the snapshot hid nothing — any later one (visibility times
+          are written once at publish, so visibility is monotone in
+          ``now``).
+        """
+        if self._view_kind is None or anchor is None:
+            return False
+        if self._anchor is None or self._anchor() is not anchor:
+            return False
+        if key[-1] != self._epoch or key[2] < self._source_len:
+            return False
+        kind = key[0]
+        if kind == "tangle":
+            return self._hidden == 0
+        if kind == "view":
+            if self._view_kind == "view" and self._view_bound == key[3]:
+                return True
+            return self._hidden == 0 and key[3] >= self._max_round_seen
+        if kind == "timed":
+            if self._view_kind != "timed":
+                return False
+            if self._view_maps != (key[5], key[6], key[4]):
+                return False
+            if key[3] == self._view_bound:
+                return True
+            return self._hidden == 0 and key[3] >= self._view_bound
+        return False
+
+    def extend(self, view) -> "TangleSnapshot":
+        """A snapshot of ``view`` built as a delta on top of this one.
+
+        The O(history) work of :meth:`build` — the Python pass over
+        every visible transaction and its edges — shrinks to
+        O(delta): only transactions the source tangle gained since this
+        snapshot was cut are scanned; everything else is appended or
+        patched at C speed (CSR row append, padded-matrix row stack,
+        and a delta-width bitset pass for materialized cumulative
+        weights).  The result is **bit-identical** to a cold
+        ``build(view)``: same arrays, same walk distributions, same
+        Gumbel stream consumption, same ``evaluation_counter`` calls —
+        the scale benchmark and the extension tests pin this.
+
+        Returns a *new* snapshot when the delta is non-empty (callers
+        key memos by snapshot identity); returns ``self`` with its
+        source length advanced when the tangle grew but nothing new is
+        visible under ``view``'s bound.  Raises ``ValueError`` when the
+        target is not an extension of this snapshot — use
+        :meth:`_can_extend_to` (as :func:`snapshot_for` does) to route.
+        """
+        anchor, key = _fingerprint(view)
+        if key is None or not self._can_extend_to(anchor, key):
+            raise ValueError("snapshot does not extend to this view")
+        tangle = anchor
+        fresh = tangle.transactions_since(self._source_len)
+        kind = key[0]
+        if kind == "tangle":
+            delta = fresh
+        elif kind == "view":
+            bound = key[3]
+            delta = [tx for tx in fresh if tx.round_index <= bound]
+        else:  # timed: same maps were verified, ask the view directly
+            delta = [tx for tx in fresh if view._visible(tx.tx_id)]
+        if not delta:
+            # Content unchanged: serve the same object (memos keyed by
+            # snapshot identity stay valid) with provenance advanced so
+            # the next extension scans only genuinely new transactions.
+            self._hidden += len(fresh)
+            self._source_len = key[2]
+            return self
+
+        n0 = len(self.ids)
+        d = len(delta)
+        n = n0 + d
+        delta_ids = [tx.tx_id for tx in delta]
+        ids = self.ids + delta_ids
+        index = dict(self.index)
+        parent_rows: list[list[int]] = []
+        edge_parents: list[int] = []
+        edge_children: list[int] = []
+        for offset, tx in enumerate(delta):
+            node = n0 + offset
+            index[tx.tx_id] = node
+            row = []
+            for parent in tx.parents:
+                p = index.get(parent)
+                if p is None:  # parent not visible in this view
+                    continue
+                row.append(p)
+                edge_parents.append(p)
+                edge_children.append(node)
+            parent_rows.append(row)
+
+        delta_counts = np.fromiter(
+            (len(row) for row in parent_rows), dtype=np.int64, count=d
+        )
+        flat_parents = np.fromiter(
+            (p for row in parent_rows for p in row),
+            dtype=np.int64,
+            count=int(delta_counts.sum()),
+        )
+        parent_counts = np.concatenate([self.parent_counts, delta_counts])
+        parent_indptr = np.concatenate(
+            [
+                self.parent_indptr,
+                self.parent_indptr[-1] + np.cumsum(delta_counts),
+            ]
+        )
+        parent_indices = np.concatenate([self.parent_indices, flat_parents])
+
+        eparents = np.asarray(edge_parents, dtype=np.int64)
+        echildren = np.asarray(edge_children, dtype=np.int64)
+        base_acounts = np.concatenate(
+            [self.approver_counts, np.zeros(d, dtype=np.int64)]
+        )
+        if eparents.size:
+            approver_counts = base_acounts + np.bincount(
+                eparents, minlength=n
+            ).astype(np.int64)
+        else:
+            approver_counts = base_acounts
+        approver_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(approver_counts, out=approver_indptr[1:])
+        edges0 = int(self.approver_indptr[-1])
+        approver_indices = np.empty(edges0 + eparents.size, dtype=np.int64)
+        if edges0:
+            # Relocate every existing entry in one scatter: an entry in
+            # row i shifts by however much the rows before i grew.
+            row_of = np.repeat(np.arange(n0), self.approver_counts)
+            shift = (approver_indptr[:n0] - self.approver_indptr[:n0])[row_of]
+            approver_indices[np.arange(edges0) + shift] = self.approver_indices
+        if eparents.size:
+            # Group the new edges by parent, preserving child insertion
+            # order within each group (stable sort + within-group rank),
+            # and place them after the parent's existing approvers —
+            # exactly the order a cold build appends them in.
+            order = np.argsort(eparents, kind="stable")
+            sorted_parents = eparents[order]
+            rank = np.arange(sorted_parents.size) - np.searchsorted(
+                sorted_parents, sorted_parents, side="left"
+            )
+            pos = (
+                approver_indptr[sorted_parents]
+                + base_acounts[sorted_parents]
+                + rank
+            )
+            approver_indices[pos] = echildren[order]
+
+        ext = object.__new__(TangleSnapshot)
+        ext.ids = ids
+        ext.index = index
+        ext.parent_indptr = parent_indptr
+        ext.parent_indices = parent_indices
+        ext.parent_counts = parent_counts
+        ext.approver_indptr = approver_indptr
+        ext.approver_indices = approver_indices
+        ext.approver_counts = approver_counts
+        ext.max_approvers = int(approver_counts.max(initial=0))
+        ext._column_range = (
+            self._column_range
+            if ext.max_approvers == self.max_approvers
+            else np.arange(max(1, ext.max_approvers))
+        )
+        new_sinks = np.flatnonzero(delta_counts == 0) + n0
+        ext.sink_nodes = (
+            np.concatenate([self.sink_nodes, new_sinks])
+            if new_sinks.size
+            else self.sink_nodes
+        )
+        tip_nodes = np.flatnonzero(approver_counts == 0)
+        ext.tip_nodes = np.array(
+            sorted(tip_nodes.tolist(), key=ids.__getitem__), dtype=np.int64
+        )
+
+        # Patch the lazily materialized planes only if the base paid for
+        # them; otherwise stay lazy (the next reader rebuilds vectorized).
+        ext._parents_padded = None
+        if self._parents_padded is not None:
+            width = self._parents_padded.shape[1]
+            if max(1, int(parent_counts.max(initial=0))) == width:
+                delta_indptr = np.zeros(d + 1, dtype=np.int64)
+                np.cumsum(delta_counts, out=delta_indptr[1:])
+                ext._parents_padded = np.vstack(
+                    [
+                        self._parents_padded,
+                        _pad_csr(
+                            delta_indptr, flat_parents, delta_counts, width=width
+                        ),
+                    ]
+                )
+            else:
+                ext._parents_padded = _pad_csr(
+                    parent_indptr, parent_indices, parent_counts
+                )
+        ext._approvers_padded = None
+        if self._approvers_padded is not None:
+            width = self._approvers_padded.shape[1]
+            if max(1, ext.max_approvers) == width:
+                start = approver_indptr[n0]
+                padded = np.vstack(
+                    [
+                        self._approvers_padded,
+                        _pad_csr(
+                            approver_indptr[n0:] - start,
+                            approver_indices[start:],
+                            approver_counts[n0:],
+                            width=width,
+                        ),
+                    ]
+                )
+                # Rows that gained approvers keep their old entries but
+                # their padding lanes must now hold the new list.
+                for p in np.unique(eparents[eparents < n0]):
+                    begin = approver_indptr[p]
+                    row = approver_indices[begin : begin + approver_counts[p]]
+                    padded[p, : row.size] = row
+                    padded[p, row.size :] = row[0]
+                ext._approvers_padded = padded
+            else:
+                ext._approvers_padded = _pad_csr(
+                    approver_indptr, approver_indices, approver_counts
+                )
+        ext._longest_past_path = None
+        if self._longest_past_path is not None:
+            longest = np.empty(n, dtype=np.int64)
+            longest[:n0] = self._longest_past_path
+            for offset, row in enumerate(parent_rows):
+                longest[n0 + offset] = (
+                    1 + int(longest[row].max()) if row else 0
+                )
+            ext._longest_past_path = longest
+
+        ext._cumulative = None
+        ext._cumulative_float = None
+        if self._cumulative is not None:
+            # Delta bitset pass: track, per node, which of the d new
+            # nodes its future cone contains — O(N * d / 64) words
+            # instead of the cold pass's O(N^2 / 64).  Old nodes gain
+            # the popcount; new nodes are 1 + their cone's popcount.
+            words = max(1, (d + 63) // 64)
+            masks = np.zeros((n, words), dtype=np.uint64)
+            one = np.uint64(1)
+            for node in range(n - 1, -1, -1):
+                begin, end = approver_indptr[node], approver_indptr[node + 1]
+                if begin == end:
+                    continue
+                row = masks[node]
+                for a in approver_indices[begin:end]:
+                    row |= masks[a]
+                    if a >= n0:
+                        b = int(a) - n0
+                        row[b >> 6] |= one << np.uint64(b & 63)
+            gained = _popcount_rows(masks)
+            cumulative = np.empty(n, dtype=np.int64)
+            cumulative[:n0] = self._cumulative + gained[:n0]
+            cumulative[n0:] = 1 + gained[n0:]
+            ext._cumulative = cumulative
+
+        ext._weight_authority = None
+        ext._weight_authority_len = -1
+        if kind == "tangle" or (
+            kind == "view" and key[3] >= tangle.last_round_index
+        ):
+            ext._weight_authority = weakref.ref(tangle)
+            ext._weight_authority_len = key[2]
+
+        ext._anchor = weakref.ref(tangle)
+        ext._source_len = key[2]
+        ext._hidden = self._hidden + (len(fresh) - d)
+        ext._epoch = key[-1]
+        ext._view_kind = kind
+        ext._view_bound = None
+        ext._view_maps = None
+        if kind == "view":
+            ext._view_bound = key[3]
+        elif kind == "timed":
+            ext._view_bound = key[3]
+            ext._view_maps = (key[5], key[6], key[4])
+        ext._max_round_seen = max(
+            self._max_round_seen,
+            max((tx.round_index for tx in delta), default=-1),
+        )
+        return ext
 
     def cumulative_weights_float(self) -> np.ndarray:
         """:meth:`cumulative_weights` as float64, cached — a complete,
@@ -305,7 +658,10 @@ class TangleSnapshot:
 # --------------------------------------------------------- epoch caching
 #: fingerprint -> (weakref to the anchoring tangle, snapshot).  Bounded
 #: FIFO: an epoch needs one live entry per distinct view, and tangles
-#: are append-only so (id, len, visibility bound) pins the visible set.
+#: are append-only between compactions, so (id, len, visibility bound,
+#: compaction epoch) pins the visible set.  Superseded entries double as
+#: **extension bases**: a miss scans them for the longest snapshot the
+#: new fingerprint prefix-extends before paying a cold rebuild.
 _SNAPSHOT_CACHE: dict = {}
 _SNAPSHOT_CACHE_LIMIT = 8
 
@@ -313,16 +669,30 @@ _SNAPSHOT_CACHE_LIMIT = 8
 def _fingerprint(view) -> tuple[object | None, tuple | None]:
     """(anchor object, append-only cache key) for a view, when safe.
 
-    Keys combine the anchoring tangle's identity and length (append-only
-    ⇒ same object at same length means same content) with the view's
-    visibility bound.  Unknown view types return ``(None, None)`` and
-    are rebuilt every time.
+    Keys combine the anchoring tangle's identity, length, and
+    compaction epoch (append-only between compactions ⇒ same object at
+    same length and epoch means same content) with the view's
+    visibility bound.  The epoch term is what keeps a compacted tangle
+    from resurrecting a stale snapshot whose length happens to match a
+    pre-compaction fingerprint.  Unknown view types return
+    ``(None, None)`` and are rebuilt every time.
     """
     if isinstance(view, Tangle):
-        return view, ("tangle", id(view), len(view))
+        return view, (
+            "tangle",
+            id(view),
+            len(view),
+            getattr(view, "compaction_epoch", 0),
+        )
     if isinstance(view, TangleView):
         tangle = view._tangle
-        return tangle, ("view", id(tangle), len(tangle), view.max_round)
+        return tangle, (
+            "view",
+            id(tangle),
+            len(tangle),
+            view.max_round,
+            getattr(tangle, "compaction_epoch", 0),
+        )
     # TimedTangleView lives in repro.fl (a layer above); duck-type it to
     # keep the dependency pointing downward.  Visibility times are set
     # once at publish and never mutated, so (len, now, observer) pins
@@ -340,16 +710,26 @@ def _fingerprint(view) -> tuple[object | None, tuple | None]:
             # existing transactions are set once at publish).
             id(view._visible_from),
             id(getattr(view, "_published_at", None)),
+            getattr(tangle, "compaction_epoch", 0),
         )
     return None, None
 
 
 def snapshot_for(view) -> TangleSnapshot:
-    """The epoch snapshot for ``view``, built once and cached.
+    """The epoch snapshot for ``view``: exact hit, delta-extend, or build.
 
     Every walk of a round / publish epoch hits the same visible state;
     the cache turns N clients x num_tips walks into one CSR build.  A
     weakref identity check guards against ``id()`` reuse after GC.
+
+    On a miss, the cached entries anchored to the same live tangle are
+    scanned for the longest snapshot whose visible set is a prefix of
+    the requested view's (:meth:`TangleSnapshot._can_extend_to`); when
+    one exists, :meth:`TangleSnapshot.extend` applies just the
+    publish-epoch delta — O(new transactions) Python work instead of a
+    full O(history) rebuild, bit-identical either way.  Only a view no
+    cached snapshot prefixes (first contact, a shrunk bound, a
+    compaction) pays :meth:`TangleSnapshot.build`.
     """
     anchor, key = _fingerprint(view)
     if key is None:
@@ -357,7 +737,22 @@ def snapshot_for(view) -> TangleSnapshot:
     entry = _SNAPSHOT_CACHE.get(key)
     if entry is not None and entry[0]() is anchor:
         return entry[1]
-    snapshot = TangleSnapshot.build(view)
+    base: TangleSnapshot | None = None
+    for ref, cached in _SNAPSHOT_CACHE.values():
+        if ref() is anchor and cached._can_extend_to(anchor, key):
+            if (
+                base is None
+                or cached._source_len > base._source_len
+                or (
+                    cached._source_len == base._source_len
+                    and len(cached) > len(base)
+                )
+            ):
+                base = cached
+    if base is not None:
+        snapshot = base.extend(view)
+    else:
+        snapshot = TangleSnapshot.build(view)
     # Purge entries whose tangle died before FIFO-evicting live ones, so
     # snapshots of collected tangles don't linger for up to 8 epochs.
     for dead_key in [k for k, (ref, _) in _SNAPSHOT_CACHE.items() if ref() is None]:

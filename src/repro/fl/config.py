@@ -99,10 +99,14 @@ class DagConfig:
       (:mod:`repro.substrate`): ``1`` (default) runs each round's
       per-client work serially, ``n > 1`` fans it out over ``n`` worker
       processes, ``0`` sizes the pool to the machine, and ``"auto"``
-      decides per round — serial whenever the machine has fewer than two
-      usable cores or the round plan is too small for process-pool
-      coordination to pay off, a machine-sized pool otherwise.  Results
-      are bit-identical across all settings for a fixed seed.
+      decides per round with a payload cost model
+      (:func:`repro.substrate.cost.estimate_payload`) over the round's
+      actual post-export payloads: serial whenever the machine has
+      fewer than two usable cores, the bytes that would cross the pipe
+      exceed the ipc budget, or the dense working set those payloads
+      stand for is too small to amortize the pool — a machine-sized
+      pool otherwise.  Results are bit-identical across all settings
+      for a fixed seed.
     - ``walk_engine`` switches tip selection to the lockstep multi-walk
       engine (:mod:`repro.dag.walk_engine`): all of a selection's walk
       particles advance in frontier-batched supersteps over a cached

@@ -130,6 +130,9 @@ class TipCoalescer:
         self._score_caches: dict[object, dict[str, float]] = {}
         self._memo_snapshot = None
         self._memos: dict[object, np.ndarray] = {}
+        # Transaction ids truncated by a tangle compaction, queued for
+        # cache eviction on the worker thread (see discard_ids).
+        self._dropped_pending: set[str] = set()
         self.stats = {
             "batches": 0,
             "requests": 0,
@@ -194,6 +197,23 @@ class TipCoalescer:
                 self._ensure_worker_locked()
                 self._cond.notify()
         return request.outcome
+
+    def discard_ids(self, tx_ids) -> None:
+        """Queue compacted-away transaction ids for score-cache eviction.
+
+        Called by the gateway after :meth:`repro.dag.tangle.Tangle.compact`
+        truncates history: the per-key tx-id score caches (which outlive
+        snapshots by design) must not keep scores for ids the tangle no
+        longer knows.  Eviction is deferred to the worker thread, where
+        it runs *after* the outgoing snapshot's memos have been retired
+        — purging inline here could race a concurrent memo fold and
+        resurrect a dropped id.  Thread-safe; never blocks on the walk.
+        """
+        ids = set(tx_ids)
+        if not ids:
+            return
+        with self._cond:
+            self._dropped_pending |= ids
 
     # ------------------------------------------------------------ lifecycle
     def _ensure_worker_locked(self) -> None:
@@ -284,6 +304,15 @@ class TipCoalescer:
         if snapshot is not self._memo_snapshot:
             self._retire_memos()
             self._memo_snapshot = snapshot
+        # Evict compacted ids AFTER retiring memos: retirement writes
+        # memo scores back into the per-key caches, so a purge ordered
+        # before it would let dropped ids resurrect from the memo fold.
+        with self._cond:
+            dropped, self._dropped_pending = self._dropped_pending, set()
+        if dropped:
+            for cache in self._score_caches.values():
+                for tx_id in dropped:
+                    cache.pop(tx_id, None)
         # Group by scoring key: one lockstep call per distinct key, each
         # covering every member request's particles.
         groups: dict[object, list[_Pending]] = {}

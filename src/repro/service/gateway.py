@@ -149,6 +149,8 @@ class TangleGateway:
             "degraded": 0,
             "published": 0,
             "quarantined": 0,
+            "compactions": 0,
+            "compacted_dropped": 0,
         }
         self._counts_lock = threading.Lock()
 
@@ -296,11 +298,43 @@ class TangleGateway:
             )
         )
 
+    def compact(
+        self,
+        *,
+        keep_last: int | None = None,
+        min_round: int | None = None,
+        spill_path=None,
+    ):
+        """Truncate confirmed history while the service stays live.
+
+        Runs :meth:`repro.dag.tangle.Tangle.compact` under the same
+        lock that serializes publishes against snapshot builds, then
+        queues the dropped ids for score-cache eviction in the
+        coalescer (:meth:`~repro.service.coalescer.TipCoalescer.discard_ids`).
+        In-flight requests finish on the snapshot they captured; the
+        next batch re-snapshots at the new compaction epoch.  Returns
+        the :class:`~repro.dag.tangle.CompactionReport`.
+        """
+        with self._lock:
+            report = self.tangle.compact(
+                keep_last=keep_last,
+                min_round=min_round,
+                spill_path=spill_path,
+            )
+        if report.dropped:
+            self.coalescer.discard_ids(report.dropped_ids)
+            with self._counts_lock:
+                self.counts["compactions"] += 1
+                self.counts["compacted_dropped"] += report.dropped
+        return report
+
     def health(self) -> ServiceResponse:
         """Liveness + the full resilience telemetry (never sheds)."""
         body = {
             "status": "closed" if self._closed else "live",
             "tangle_size": len(self.tangle),
+            "compaction_epoch": self.tangle.compaction_epoch,
+            "arena_resident_bytes": self.tangle.arena.resident_nbytes,
             "breaker": self.breaker.state,
             "breaker_times_opened": self.breaker.times_opened,
             "counts": dict(self.counts),

@@ -1,0 +1,294 @@
+"""Incremental snapshot extension: O(delta) growth, bit-identical.
+
+``snapshot_for`` extends a cached snapshot with the publish-epoch delta
+instead of rebuilding from scratch — but the extended snapshot must be
+*indistinguishable* from a cold rebuild: same CSR arrays, same padded
+candidate matrices, same cumulative weights, same tip ordering, so walk
+distributions and Gumbel streams are unchanged.  These tests pin that
+equivalence across every view kind, plus the cache-eviction contracts:
+dead anchors are reaped and a post-compaction fingerprint never
+resurrects a stale snapshot (the epoch term in the fingerprint).
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.dag import walk_engine
+from repro.dag.tangle import Tangle
+from repro.dag.transaction import GENESIS_ID, Transaction
+from repro.dag.view import TangleView
+from repro.dag.walk_engine import (
+    TangleSnapshot,
+    batched_walk_starts,
+    clear_snapshot_cache,
+    lockstep_walks,
+    snapshot_for,
+)
+from repro.fl.async_learning import TimedTangleView
+
+
+def weights():
+    return [np.zeros(1)]
+
+
+def grow(tangle, ids, n, *, seed, round_of=None, prefix="t", start=None):
+    rng = np.random.default_rng(seed)
+    if start is None:
+        start = len(tangle) - 1
+    for i in range(start, start + n):
+        parents = tuple(
+            dict.fromkeys(ids[int(rng.integers(0, len(ids)))] for _ in range(2))
+        )
+        round_index = i // 10 if round_of is None else round_of(i)
+        tangle.add(
+            Transaction(f"{prefix}{i}", parents, weights(), i % 5, round_index)
+        )
+        ids.append(f"{prefix}{i}")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_snapshot_cache():
+    clear_snapshot_cache()
+    yield
+    clear_snapshot_cache()
+
+
+PLANES = ("cumulative_weights", "parents_padded", "approvers_padded", "longest_past_path")
+ARRAYS = (
+    "parent_indptr",
+    "parent_indices",
+    "approver_indptr",
+    "approver_indices",
+    "tip_nodes",
+    "sink_nodes",
+)
+
+
+def assert_snapshot_equal(extended, cold):
+    assert extended.ids == cold.ids
+    assert extended.index == cold.index
+    assert extended.max_approvers == cold.max_approvers
+    for name in ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(extended, name), getattr(cold, name), err_msg=name
+        )
+    for name in PLANES:
+        np.testing.assert_array_equal(
+            getattr(extended, name)(), getattr(cold, name)(), err_msg=name
+        )
+
+
+# ------------------------------------------------------------- bit identity
+def test_extend_matches_cold_rebuild_on_whole_tangle():
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 60, seed=1)
+    base = snapshot_for(tangle)
+    for name in PLANES:  # materialize so extension must patch, not defer
+        getattr(base, name)()
+    grow(tangle, ids, 35, seed=2)
+    extended = snapshot_for(tangle)
+    assert extended is not base
+    assert extended._source_len == len(tangle)  # extended, not rebuilt
+    assert_snapshot_equal(extended, TangleSnapshot.build(tangle))
+
+
+def test_extend_defers_unmaterialized_planes():
+    """Planes the base never computed stay lazy through extension and
+    come out equal when finally demanded."""
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 40, seed=3)
+    snapshot_for(tangle)
+    grow(tangle, ids, 20, seed=4)
+    extended = snapshot_for(tangle)
+    assert extended._parents_padded is None
+    assert extended._approvers_padded is None
+    assert extended._longest_past_path is None
+    assert_snapshot_equal(extended, TangleSnapshot.build(tangle))
+
+
+def test_extend_bitset_weights_match_authority():
+    """The incremental bitset pass must agree with both the cold bitset
+    pass and the tangle's own weight index."""
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 50, seed=5)
+    base = snapshot_for(tangle)
+    base._weight_authority = None
+    base.cumulative_weights()  # force the bitset path to materialize
+    grow(tangle, ids, 30, seed=6)
+    extended = snapshot_for(tangle)
+    expected = [tangle.cumulative_weight(tx_id) for tx_id in extended.ids]
+    np.testing.assert_array_equal(extended.cumulative_weights(), expected)
+
+
+def test_extend_repeated_stages_stay_identical():
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 20, seed=7)
+    snapshot = snapshot_for(tangle)
+    for name in PLANES:
+        getattr(snapshot, name)()
+    for stage in range(4):
+        grow(tangle, ids, 15, seed=8 + stage)
+        snapshot = snapshot_for(tangle)
+    assert snapshot._source_len == len(tangle)
+    assert_snapshot_equal(snapshot, TangleSnapshot.build(tangle))
+
+
+def test_extend_matches_cold_rebuild_on_view():
+    """A round-bound view hides the delta's too-new rounds; the hidden
+    count must advance so later fingerprints stay prefix-compatible."""
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 40, seed=9)  # rounds 0..3
+    view = TangleView(tangle, max_round=5)
+    base = snapshot_for(view)
+    for name in PLANES:
+        getattr(base, name)()
+    grow(tangle, ids, 30, seed=10)  # rounds 4..6: round 6 is hidden
+    extended = snapshot_for(TangleView(tangle, max_round=5))
+    assert extended is not base
+    assert extended._source_len == len(tangle)
+    assert extended._hidden > 0
+    assert_snapshot_equal(
+        extended, TangleSnapshot.build(TangleView(tangle, max_round=5))
+    )
+
+
+def test_extend_across_increasing_view_bounds():
+    """A snapshot that hides nothing may serve a *wider* bound later —
+    the delta filter just admits more rounds."""
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 30, seed=11)  # rounds 0..2
+    base = snapshot_for(TangleView(tangle, max_round=2))
+    assert base._hidden == 0
+    grow(tangle, ids, 30, seed=12)  # rounds 3..5
+    extended = snapshot_for(TangleView(tangle, max_round=5))
+    assert extended._source_len == len(tangle)
+    assert_snapshot_equal(
+        extended, TangleSnapshot.build(TangleView(tangle, max_round=5))
+    )
+
+
+def test_extend_matches_cold_rebuild_on_timed_view():
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 40, seed=13)
+    visible_from = {tx_id: float(i) for i, tx_id in enumerate(ids[1:])}
+    published_at = dict(visible_from)
+
+    def timed(now):
+        return TimedTangleView(
+            tangle, visible_from, now, observer=0, published_at=published_at
+        )
+
+    base = snapshot_for(timed(100.0))
+    for name in PLANES:
+        getattr(base, name)()
+    grow(tangle, ids, 25, seed=14)
+    for i, tx_id in enumerate(ids[41:], start=40):
+        visible_from[tx_id] = float(i)
+        published_at[tx_id] = float(i)
+    extended = snapshot_for(timed(150.0))
+    assert extended is not base
+    assert extended._source_len == len(tangle)
+    assert_snapshot_equal(extended, TangleSnapshot.build(timed(150.0)))
+
+
+def test_extend_empty_delta_returns_same_snapshot():
+    """Growth entirely invisible to the view advances the cached
+    snapshot's provenance in place — same object, no rebuild."""
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 30, seed=15)  # rounds 0..2
+    view = TangleView(tangle, max_round=2)
+    base = snapshot_for(view)
+    grow(tangle, ids, 10, seed=16, round_of=lambda i: 9)  # all hidden
+    again = snapshot_for(TangleView(tangle, max_round=2))
+    assert again is base
+    assert base._source_len == len(tangle)
+
+
+def test_extended_snapshot_walks_identically():
+    """Same Gumbel stream + same arrays => the same tips, particle for
+    particle — the walk-level statement of bit identity."""
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 50, seed=17)
+    base = snapshot_for(tangle)
+    base.cumulative_weights()
+    grow(tangle, ids, 30, seed=18)
+    extended = snapshot_for(tangle)
+    cold = TangleSnapshot.build(tangle)
+    for snap in (extended, cold):  # identical RNG draws on both
+        rng = np.random.default_rng(99)
+        starts = batched_walk_starts(snap, 16, rng)
+        finals = lockstep_walks(
+            snap,
+            starts,
+            None,
+            score_memo=snap.cumulative_weights_float(),
+            alpha=0.8,
+            rng=rng,
+        )
+        tips = [snap.ids[node] for node in finals]
+        if snap is extended:
+            extended_tips = tips
+    assert extended_tips == tips
+
+
+# --------------------------------------------------------- cache eviction
+def test_snapshot_cache_reaps_dead_anchors():
+    """Dead tangles' entries leave the fingerprint cache on the next
+    store — the weakref bound, pinned."""
+    for seed in range(3):
+        tangle = Tangle(weights())
+        ids = [GENESIS_ID]
+        grow(tangle, ids, 10, seed=seed)
+        snapshot_for(tangle)
+        del tangle
+    gc.collect()
+    survivor = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(survivor, ids, 10, seed=42)
+    snapshot_for(survivor)  # the store sweeps dead entries
+    anchors = [ref() for ref, _ in walk_engine._SNAPSHOT_CACHE.values()]
+    assert anchors == [survivor]
+
+
+def test_compaction_never_resurrects_stale_snapshot():
+    """After a compaction that lands the tangle back on a previously
+    cached length, the fingerprint (which carries the compaction epoch)
+    must miss — the old snapshot describes transactions that no longer
+    exist."""
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 21, seed=19)
+    stale = snapshot_for(tangle)  # len 22
+    grow(tangle, ids, 10, seed=20)
+    tangle.compact(keep_last=21)  # back to len 22, same id(), new epoch
+    assert len(tangle) == len(stale)
+    fresh = snapshot_for(tangle)
+    assert fresh is not stale
+    assert fresh.ids == [GENESIS_ID] + ids[-21:]
+    # And the stale snapshot can't serve as an extension base either.
+    kept = [GENESIS_ID] + ids[-21:]
+    grow(tangle, kept, 5, seed=21, start=31)
+    grown = snapshot_for(tangle)
+    assert grown._epoch == tangle.compaction_epoch
+    assert_snapshot_equal(grown, TangleSnapshot.build(tangle))
+
+
+def test_cache_hit_after_extension_is_exact():
+    tangle = Tangle(weights())
+    ids = [GENESIS_ID]
+    grow(tangle, ids, 20, seed=22)
+    snapshot_for(tangle)
+    grow(tangle, ids, 10, seed=23)
+    extended = snapshot_for(tangle)
+    assert snapshot_for(tangle) is extended  # exact fingerprint hit

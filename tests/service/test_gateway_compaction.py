@@ -1,0 +1,85 @@
+"""Gateway compaction: the service stays live while history truncates.
+
+``TangleGateway.compact`` runs the tangle's compaction under the same
+lock that serializes publishes against snapshot builds, then tells the
+coalescer which ids died so its per-key score caches cannot keep (or
+resurrect) scores for transactions the tangle no longer knows.  These
+tests pin service liveness across the cut, the telemetry surface, and
+the cache-eviction handshake.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service.gateway import GatewayConfig, TangleGateway
+
+
+@pytest.fixture
+def gateway(tangle):
+    with TangleGateway(
+        tangle, config=GatewayConfig(deadline_budget=5.0)
+    ) as gateway:
+        yield gateway
+
+
+def test_requests_keep_resolving_across_compaction(gateway, tangle):
+    assert gateway.tips(2).ok
+    report = gateway.compact(keep_last=15)
+    assert report.dropped == 25 and len(tangle) == 16
+    response = gateway.tips(3)
+    assert response.ok
+    live = set(tx.tx_id for tx in tangle.transactions())
+    assert all(tip in live for tip in response.body["tips"])
+    # Publishing against fresh tips still works after the cut.
+    rng = np.random.default_rng(0)
+    publish = gateway.publish(
+        rng.normal(size=tangle.spec.total), response.body["tips"]
+    )
+    assert publish.ok
+
+
+def test_compaction_telemetry(gateway, tangle):
+    before = gateway.health().body
+    assert before["compaction_epoch"] == 0
+    gateway.compact(keep_last=10)
+    after = gateway.health().body
+    assert after["compaction_epoch"] == 1
+    assert after["arena_resident_bytes"] < before["arena_resident_bytes"]
+    assert after["counts"]["compactions"] == 1
+    assert after["counts"]["compacted_dropped"] == 30
+    assert after["tangle_size"] == 11
+
+
+def test_noop_compaction_counts_nothing(gateway):
+    report = gateway.compact(keep_last=1000)
+    assert report.dropped == 0
+    counts = gateway.health().body["counts"]
+    assert counts["compactions"] == 0 and counts["compacted_dropped"] == 0
+
+
+def test_score_caches_evict_dropped_ids(tangle):
+    """Scores cached for truncated ids must leave the coalescer's
+    per-key caches on the next batch — after memo retirement, so a
+    stale memo cannot write them back."""
+    calls = []
+
+    def score_provider(score_key):
+        def batch_fn(tx_ids):
+            calls.append(list(tx_ids))
+            return [0.5] * len(tx_ids)
+
+        return batch_fn
+
+    with TangleGateway(
+        tangle,
+        config=GatewayConfig(deadline_budget=5.0),
+        score_provider=score_provider,
+    ) as gateway:
+        assert gateway.tips(4, score_key="k").ok  # populate the memo
+        report = gateway.compact(keep_last=10)
+        assert report.dropped == 30
+        assert gateway.tips(4, score_key="k").ok  # retire + evict
+        live = set(tx.tx_id for tx in tangle.transactions())
+        cache = gateway.coalescer._score_caches.get("k", {})
+        assert set(cache) <= live
+        assert not set(report.dropped_ids) & set(cache)

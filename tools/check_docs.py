@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Docs-consistency guard for CI.
+
+Two checks, both cheap and dependency-free:
+
+1. **Dead relative links.** Every markdown link in ``README.md`` and
+   ``docs/*.md`` whose target is a relative path must resolve to a file
+   in the repository (fragments are stripped; absolute URLs and
+   ``mailto:`` are skipped).  A docs split or file rename that leaves a
+   dangling ``[page](old.md)`` fails here instead of 404ing for the
+   next reader.
+2. **Tier-1 command consistency.** The test command CI actually runs
+   (the ``Run tier-1 suite`` step in ``.github/workflows/ci.yml``) must
+   be the same command README and ROADMAP tell a human to run.  Doc
+   drift on the one command everyone copy-pastes is the most expensive
+   kind.
+
+Usage::
+
+    python tools/check_docs.py
+
+Exits 1 with one line per violation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — but not images' alt brackets differently, and not
+# footnote-style links; good enough for this repo's plain markdown.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+TIER1 = "python -m pytest -x -q"
+
+
+def iter_doc_files():
+    yield ROOT / "README.md"
+    yield from sorted((ROOT / "docs").glob("*.md"))
+
+
+def check_links() -> list[str]:
+    failures = []
+    for doc in iter_doc_files():
+        text = doc.read_text()
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{doc.relative_to(ROOT)}: dead link -> {target}"
+                )
+    return failures
+
+
+def check_tier1_command() -> list[str]:
+    failures = []
+    workflow = ROOT / ".github" / "workflows" / "ci.yml"
+    if TIER1 not in workflow.read_text():
+        failures.append(
+            f"{workflow.relative_to(ROOT)}: tier-1 step no longer runs "
+            f"`{TIER1}` — update TIER1 in tools/check_docs.py and the "
+            "docs together"
+        )
+    for doc in (ROOT / "README.md", ROOT / "ROADMAP.md"):
+        if TIER1 not in doc.read_text():
+            failures.append(
+                f"{doc.relative_to(ROOT)}: does not quote the tier-1 "
+                f"command `{TIER1}` that CI runs"
+            )
+    return failures
+
+
+def main() -> int:
+    failures = check_links() + check_tier1_command()
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if failures:
+        print(f"\n{len(failures)} docs-consistency violation(s)", file=sys.stderr)
+        return 1
+    docs = list(iter_doc_files())
+    print(f"docs ok: {len(docs)} files, links resolve, tier-1 command consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
